@@ -1,0 +1,75 @@
+// Ablation: model capacity (depth x width) for the PNA backbone.
+//
+// The paper fixes 5 layers x hidden 300 for all models; this sweep shows
+// where returns diminish at benchmark scale, justifying the smoke-scale
+// defaults used by the table benches.
+#include "bench_common.h"
+
+namespace gnnhls::bench {
+namespace {
+
+int run(int argc, const char* const* argv) {
+  const BenchConfig cfg = parse_bench_config(argc, argv);
+  print_header("Ablation — PNA capacity sweep (DFG, LUT)", cfg);
+
+  Timer total;
+  const std::vector<Sample> dfg = build_dfg(cfg);
+  print_dataset_line("DFG", dfg);
+  const SplitIndices split =
+      split_80_10_10(static_cast<int>(dfg.size()), cfg.seed);
+
+  const std::vector<int> layer_options = {1, 2, 3, 5};
+  const std::vector<int> hidden_options = {16, 32, 64};
+  std::vector<std::vector<double>> results(
+      layer_options.size(), std::vector<double>(hidden_options.size(), 0.0));
+
+  std::vector<std::function<void()>> jobs;
+  for (std::size_t l = 0; l < layer_options.size(); ++l) {
+    for (std::size_t h = 0; h < hidden_options.size(); ++h) {
+      jobs.push_back([&, l, h] {
+        ExperimentSpec spec;
+        spec.kind = GnnKind::kPna;
+        spec.approach = Approach::kOffTheShelf;
+        spec.metric = Metric::kLut;
+        spec.model = model_config(cfg);
+        spec.model.layers = layer_options[l];
+        spec.model.hidden = hidden_options[h];
+        spec.train = train_config(cfg);
+        spec.protocol = protocol(cfg);
+        results[l][h] = run_regression_experiment(spec, dfg, split).test_mape;
+      });
+    }
+  }
+  run_parallel(std::move(jobs), cfg.threads);
+
+  TextTable table({"layers \\ hidden", "16", "32", "64"});
+  for (std::size_t l = 0; l < layer_options.size(); ++l) {
+    std::vector<std::string> row{std::to_string(layer_options[l])};
+    for (std::size_t h = 0; h < hidden_options.size(); ++h) {
+      row.push_back(TextTable::pct(results[l][h]));
+    }
+    table.add_row(std::move(row));
+  }
+  std::cout << "\nLUT MAPE by capacity:\n" << table.to_string();
+
+  ShapeChecks checks;
+  // Message passing must help: >=2 layers beats 1 layer at equal width.
+  double best_deep = 1e9, one_layer = 1e9;
+  for (std::size_t h = 0; h < hidden_options.size(); ++h) {
+    one_layer = std::min(one_layer, results[0][h]);
+    for (std::size_t l = 1; l < layer_options.size(); ++l) {
+      best_deep = std::min(best_deep, results[l][h]);
+    }
+  }
+  checks.check("depth >= 2 beats depth 1 (message passing matters)",
+               best_deep < one_layer);
+  checks.summary();
+  std::cout << "total wall time: " << TextTable::num(total.seconds(), 1)
+            << "s\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace gnnhls::bench
+
+int main(int argc, char** argv) { return gnnhls::bench::run(argc, argv); }

@@ -1,0 +1,70 @@
+// Ablation: sum vs mean graph pooling per metric (paper §5.1 uses "sum or
+// mean pooling" without saying which where).
+//
+// Expectation from the target semantics: resource counts are extensive
+// quantities (they grow with graph size), favoring sum pooling; CP timing
+// is an intensive, local quantity, tolerating mean pooling.
+#include "bench_common.h"
+
+namespace gnnhls::bench {
+namespace {
+
+int run(int argc, const char* const* argv) {
+  const BenchConfig cfg = parse_bench_config(argc, argv);
+  print_header("Ablation — sum vs mean pooling (RGCN, DFG)", cfg);
+
+  Timer total;
+  const std::vector<Sample> dfg = build_dfg(cfg);
+  print_dataset_line("DFG", dfg);
+  const SplitIndices split =
+      split_80_10_10(static_cast<int>(dfg.size()), cfg.seed);
+
+  double results[2][4] = {};  // [pooling][metric]
+  std::vector<std::function<void()>> jobs;
+  for (int pool = 0; pool < 2; ++pool) {
+    for (int m = 0; m < kNumMetrics; ++m) {
+      jobs.push_back([&, pool, m] {
+        ExperimentSpec spec;
+        spec.kind = GnnKind::kRgcn;
+        spec.approach = Approach::kOffTheShelf;
+        spec.metric = static_cast<Metric>(m);
+        spec.model = model_config(cfg);
+        spec.model.pooling = pool == 0 ? Pooling::kSum : Pooling::kMean;
+        spec.train = train_config(cfg);
+        spec.protocol = protocol(cfg);
+        results[pool][m] = run_regression_experiment(spec, dfg, split)
+                               .test_mape;
+      });
+    }
+  }
+  run_parallel(std::move(jobs), cfg.threads);
+
+  TextTable table({"pooling", "DSP", "LUT", "FF", "CP"});
+  for (int pool = 0; pool < 2; ++pool) {
+    std::vector<std::string> row{pool == 0 ? "sum" : "mean"};
+    for (int m = 0; m < kNumMetrics; ++m) {
+      row.push_back(TextTable::pct(results[pool][m]));
+    }
+    table.add_row(std::move(row));
+  }
+  std::cout << "\n" << table.to_string();
+
+  ShapeChecks checks;
+  const double sum_resources =
+      (results[0][0] + results[0][1] + results[0][2]) / 3.0;
+  const double mean_resources =
+      (results[1][0] + results[1][1] + results[1][2]) / 3.0;
+  checks.check("sum pooling wins on extensive metrics (DSP/LUT/FF)",
+               sum_resources < mean_resources);
+  checks.check("CP tolerates mean pooling (within 3% absolute of sum)",
+               results[1][3] < results[0][3] + 0.03);
+  checks.summary();
+  std::cout << "total wall time: " << TextTable::num(total.seconds(), 1)
+            << "s\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace gnnhls::bench
+
+int main(int argc, char** argv) { return gnnhls::bench::run(argc, argv); }

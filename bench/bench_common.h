@@ -1,0 +1,165 @@
+// Shared harness for the table-reproduction benches.
+//
+// Every bench binary accepts the same flags (see usage()) and defaults to a
+// "smoke" scale that finishes in minutes on a laptop; --scale=full raises
+// dataset/model sizes; --scale=paper documents the paper's configuration
+// (40k programs, hidden 300, 5 layers, 100 epochs, 5 seeds — impractical
+// without a cluster, but the code path is identical).
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/experiment.h"
+#include "dataset/dataset.h"
+#include "suites/suites.h"
+#include "support/flags.h"
+#include "support/table.h"
+#include "support/timer.h"
+
+namespace gnnhls::bench {
+
+struct BenchConfig {
+  int dfg_graphs = 200;
+  int cdfg_graphs = 150;
+  int hidden = 32;
+  int layers = 3;
+  int epochs = 35;
+  float lr = 1e-2F;
+  float dropout = 0.0F;
+  int runs = 2;
+  int keep_best = 1;
+  int threads = 0;  // 0 = hardware_concurrency
+  std::uint64_t seed = 1;
+};
+
+inline BenchConfig parse_bench_config(int argc, const char* const* argv) {
+  const Flags flags(argc, argv);
+  BenchConfig cfg;
+  const std::string scale = flags.get_string("scale", "smoke");
+  if (scale == "full") {
+    cfg.dfg_graphs = 600;
+    cfg.cdfg_graphs = 400;
+    cfg.hidden = 64;
+    cfg.layers = 4;
+    cfg.epochs = 60;
+    cfg.runs = 3;
+    cfg.keep_best = 2;
+  } else if (scale == "paper") {
+    cfg.dfg_graphs = 19120;   // paper §3.2
+    cfg.cdfg_graphs = 18570;  // paper §3.2
+    cfg.hidden = 300;         // paper §5.1
+    cfg.layers = 5;
+    cfg.epochs = 100;
+    cfg.runs = 5;
+    cfg.keep_best = 3;
+  } else if (scale != "smoke") {
+    throw std::invalid_argument("--scale must be smoke|full|paper");
+  }
+  cfg.dfg_graphs = flags.get_int("dfg-graphs", cfg.dfg_graphs);
+  cfg.cdfg_graphs = flags.get_int("cdfg-graphs", cfg.cdfg_graphs);
+  cfg.hidden = flags.get_int("hidden", cfg.hidden);
+  cfg.layers = flags.get_int("layers", cfg.layers);
+  cfg.epochs = flags.get_int("epochs", cfg.epochs);
+  cfg.lr = static_cast<float>(flags.get_double("lr", cfg.lr));
+  cfg.runs = flags.get_int("runs", cfg.runs);
+  cfg.keep_best = flags.get_int("best", cfg.keep_best);
+  cfg.threads = flags.get_int("threads", cfg.threads);
+  cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  flags.check_all_consumed();
+  if (cfg.threads <= 0) {
+    cfg.threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (cfg.threads <= 0) cfg.threads = 4;
+  }
+  return cfg;
+}
+
+inline ModelConfig model_config(const BenchConfig& cfg) {
+  ModelConfig mc;
+  mc.hidden = cfg.hidden;
+  mc.layers = cfg.layers;
+  mc.dropout = cfg.dropout;
+  return mc;
+}
+
+inline TrainConfig train_config(const BenchConfig& cfg) {
+  TrainConfig tc;
+  tc.epochs = cfg.epochs;
+  tc.lr = cfg.lr;
+  tc.seed = cfg.seed;
+  return tc;
+}
+
+inline RunProtocol protocol(const BenchConfig& cfg) {
+  return RunProtocol{cfg.runs, cfg.keep_best};
+}
+
+inline std::vector<Sample> build_dfg(const BenchConfig& cfg) {
+  SyntheticDatasetConfig dc;
+  dc.kind = GraphKind::kDfg;
+  dc.num_graphs = cfg.dfg_graphs;
+  dc.seed = cfg.seed * 10007 + 1;
+  return build_synthetic_dataset(dc);
+}
+
+inline std::vector<Sample> build_cdfg(const BenchConfig& cfg) {
+  SyntheticDatasetConfig dc;
+  dc.kind = GraphKind::kCdfg;
+  dc.num_graphs = cfg.cdfg_graphs;
+  dc.seed = cfg.seed * 10007 + 2;
+  return build_synthetic_dataset(dc);
+}
+
+inline std::vector<Sample> build_real_world() {
+  std::vector<Sample> samples;
+  for (const SuiteProgram& p : all_real_world()) {
+    samples.push_back(make_sample(p.func, GraphKind::kCdfg, HlsConfig{},
+                                  p.suite + "/" + p.name));
+  }
+  return samples;
+}
+
+inline void print_dataset_line(const std::string& name,
+                               const std::vector<Sample>& samples) {
+  const DatasetStats st = compute_stats(samples);
+  std::cout << "  " << name << ": " << st.graphs << " graphs, avg "
+            << TextTable::num(st.avg_nodes, 1) << " nodes / "
+            << TextTable::num(st.avg_edges, 1)
+            << " edges, avg QoR [DSP " << TextTable::num(st.avg_metric[0], 1)
+            << ", LUT " << TextTable::num(st.avg_metric[1], 0) << ", FF "
+            << TextTable::num(st.avg_metric[2], 0) << ", CP "
+            << TextTable::num(st.avg_metric[3], 2) << "ns]\n";
+}
+
+inline void print_header(const std::string& title, const BenchConfig& cfg) {
+  std::cout << "==================================================\n"
+            << title << "\n"
+            << "==================================================\n"
+            << "config: hidden=" << cfg.hidden << " layers=" << cfg.layers
+            << " epochs=" << cfg.epochs << " runs=" << cfg.runs << "/best-"
+            << cfg.keep_best << " threads=" << cfg.threads
+            << " seed=" << cfg.seed << "\n";
+}
+
+/// Records shape-of-result checks ("who wins, by roughly what factor") and
+/// prints a PASS/MISS summary. Benches report; tests gate — so this never
+/// exits nonzero.
+class ShapeChecks {
+ public:
+  void check(const std::string& what, bool ok) {
+    std::cout << (ok ? "  [PASS] " : "  [MISS] ") << what << "\n";
+    ++total_;
+    if (ok) ++passed_;
+  }
+  void summary() const {
+    std::cout << "shape checks: " << passed_ << "/" << total_ << " passed\n";
+  }
+
+ private:
+  int passed_ = 0;
+  int total_ = 0;
+};
+
+}  // namespace gnnhls::bench

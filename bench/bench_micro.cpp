@@ -1,0 +1,110 @@
+// Micro benchmarks of the numerical substrate (google-benchmark):
+// matmul, message-passing primitives, encoder forward passes, HLS stages.
+#include <benchmark/benchmark.h>
+
+#include "gnn/models.h"
+#include "hls/hls_flow.h"
+#include "nn/adam.h"
+#include "progen/progen.h"
+
+namespace gnnhls {
+namespace {
+
+void BM_Matmul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  const Matrix a = Matrix::randn(n, n, rng);
+  const Matrix b = Matrix::randn(n, n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul(a, b).data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_GatherScatter(benchmark::State& state) {
+  LoweredProgram p = lower_to_cdfg(generate_cdfg_program(3));
+  run_hls_flow(p);
+  const GraphTensors gt = GraphTensors::build(p.graph);
+  Rng rng(1);
+  const Matrix h = Matrix::randn(gt.num_nodes, 64, rng);
+  for (auto _ : state) {
+    Tape tape;
+    const Var x = tape.leaf(h);
+    const Var msgs = tape.gather_rows(x, gt.src);
+    benchmark::DoNotOptimize(
+        tape.scatter_add_rows(msgs, gt.dst, gt.num_nodes).value().data());
+  }
+}
+BENCHMARK(BM_GatherScatter);
+
+void BM_EncoderForward(benchmark::State& state) {
+  LoweredProgram p = lower_to_cdfg(generate_cdfg_program(5));
+  run_hls_flow(p);
+  const GraphTensors gt = GraphTensors::build(p.graph);
+  const Matrix feats =
+      InputFeatureBuilder::build(p.graph, Approach::kOffTheShelf);
+  Rng rng(2);
+  EncoderConfig cfg;
+  cfg.in_dim = feats.cols();
+  cfg.hidden = 64;
+  cfg.layers = 3;
+  const auto kind = static_cast<GnnKind>(state.range(0));
+  const auto enc = make_encoder(kind, cfg, rng);
+  Rng drop(1);
+  for (auto _ : state) {
+    Tape tape;
+    benchmark::DoNotOptimize(
+        enc->encode(tape, gt, tape.leaf(feats), drop, false).value().data());
+  }
+  state.SetLabel(gnn_kind_name(kind));
+}
+BENCHMARK(BM_EncoderForward)->DenseRange(0, kNumGnnKinds - 1);
+
+void BM_TrainStep(benchmark::State& state) {
+  LoweredProgram p = lower_to_cdfg(generate_cdfg_program(7));
+  run_hls_flow(p);
+  const GraphTensors gt = GraphTensors::build(p.graph);
+  const Matrix feats =
+      InputFeatureBuilder::build(p.graph, Approach::kOffTheShelf);
+  Rng rng(3);
+  ModelConfig mc;
+  mc.kind = GnnKind::kRgcn;
+  mc.hidden = 64;
+  mc.layers = 3;
+  GraphRegressor model(mc, feats.cols(), rng);
+  Adam opt(model, AdamConfig{});
+  Rng drop(1);
+  const Matrix target(1, 1, 5.0F);
+  for (auto _ : state) {
+    Tape tape;
+    const Var pred = model.forward(tape, gt, feats, drop, true);
+    tape.backward(tape.mse_loss(pred, target));
+    opt.step();
+  }
+}
+BENCHMARK(BM_TrainStep);
+
+void BM_ScheduleProgram(benchmark::State& state) {
+  LoweredProgram p = lower_to_cdfg(generate_cdfg_program(11));
+  const ResourceLibrary lib;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        schedule_program(p, lib, HlsConfig{}).total_states);
+  }
+}
+BENCHMARK(BM_ScheduleProgram);
+
+void BM_ProgramGeneration(benchmark::State& state) {
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        generate_cdfg_program(seed++).statement_count());
+  }
+}
+BENCHMARK(BM_ProgramGeneration);
+
+}  // namespace
+}  // namespace gnnhls
+
+BENCHMARK_MAIN();

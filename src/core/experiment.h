@@ -1,0 +1,61 @@
+// Experiment protocol (paper §5.1) and a parallel job runner for the bench
+// harness.
+//
+// "Each model is trained with five runs using different random number seeds
+// and we report the average of three with least validation error" —
+// run_regression_experiment implements exactly that (run/keep counts are
+// configurable so the smoke-scale benches can use 3/2).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/predictor.h"
+
+namespace gnnhls {
+
+struct RunProtocol {
+  int runs = 3;       // paper: 5
+  int keep_best = 2;  // paper: 3
+};
+
+struct ExperimentSpec {
+  GnnKind kind = GnnKind::kRgcn;
+  Approach approach = Approach::kOffTheShelf;
+  Metric metric = Metric::kLut;
+  ModelConfig model;
+  TrainConfig train;
+  RunProtocol protocol;
+};
+
+struct ExperimentResult {
+  double test_mape = 0.0;
+  /// MAPE on the optional transfer/generalization set (Table 5 real cases).
+  double transfer_mape = 0.0;
+};
+
+/// Trains `protocol.runs` predictors with distinct seeds, keeps the
+/// `keep_best` runs with lowest validation MAPE, and averages their test
+/// MAPE (and transfer MAPE if a transfer set is given).
+ExperimentResult run_regression_experiment(
+    const ExperimentSpec& spec, const std::vector<Sample>& samples,
+    const SplitIndices& split,
+    const std::vector<Sample>* transfer_set = nullptr);
+
+struct NodeExperimentResult {
+  NodeClassifierScores test;
+  NodeClassifierScores transfer;
+};
+
+/// Same protocol for the node-level classification task (Table 3).
+NodeExperimentResult run_node_experiment(
+    GnnKind kind, const ModelConfig& model, const TrainConfig& train,
+    const RunProtocol& protocol, const std::vector<Sample>& samples,
+    const SplitIndices& split,
+    const std::vector<Sample>* transfer_set = nullptr);
+
+/// Runs jobs on `threads` worker threads; rethrows the first exception.
+void run_parallel(std::vector<std::function<void()>> jobs, int threads);
+
+}  // namespace gnnhls

@@ -1,0 +1,32 @@
+#include "core/metrics.h"
+
+#include <cmath>
+
+#include "support/check.h"
+
+namespace gnnhls {
+
+double mape(const std::vector<double>& pred, const std::vector<double>& truth,
+            double floor) {
+  GNNHLS_CHECK_EQ(pred.size(), truth.size(), "mape: length mismatch");
+  GNNHLS_CHECK(!pred.empty(), "mape: empty input");
+  GNNHLS_CHECK(floor > 0.0, "mape: floor must be positive");
+  double total = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    total += std::abs(pred[i] - truth[i]) / std::max(std::abs(truth[i]), floor);
+  }
+  return total / static_cast<double>(pred.size());
+}
+
+double binary_accuracy(const std::vector<int>& pred,
+                       const std::vector<int>& truth) {
+  GNNHLS_CHECK_EQ(pred.size(), truth.size(), "accuracy: length mismatch");
+  GNNHLS_CHECK(!pred.empty(), "accuracy: empty input");
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    if ((pred[i] != 0) == (truth[i] != 0)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(pred.size());
+}
+
+}  // namespace gnnhls

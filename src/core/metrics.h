@@ -1,0 +1,21 @@
+// Evaluation metrics: MAPE for graph-level regression (paper Tables 2/4/5)
+// and per-class accuracy for node-level classification (paper Table 3).
+#pragma once
+
+#include <array>
+#include <vector>
+
+namespace gnnhls {
+
+/// Mean absolute percentage error with a denominator floor:
+/// mean(|pred - truth| / max(|truth|, floor)). The floor guards the
+/// zero-resource case (a design using 0 DSPs); the paper does not state its
+/// convention, so ours is recorded here.
+double mape(const std::vector<double>& pred, const std::vector<double>& truth,
+            double floor = 1.0);
+
+/// Fraction of correct binary predictions.
+double binary_accuracy(const std::vector<int>& pred,
+                       const std::vector<int>& truth);
+
+}  // namespace gnnhls

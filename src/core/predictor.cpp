@@ -1,0 +1,258 @@
+#include "core/predictor.h"
+
+#include <algorithm>
+
+namespace gnnhls {
+
+namespace {
+
+/// Step learning-rate decay: full rate for the first 60% of epochs, then
+/// 0.3x, then 0.1x for the last 15% (stabilizes the best-epoch selection).
+float lr_at_epoch(float base_lr, int epoch, int total_epochs) {
+  const double progress =
+      static_cast<double>(epoch) / std::max(total_epochs, 1);
+  if (progress < 0.6) return base_lr;
+  if (progress < 0.85) return base_lr * 0.3F;
+  return base_lr * 0.1F;
+}
+
+}  // namespace
+
+std::vector<Matrix> snapshot_parameters(const Module& m) {
+  std::vector<Matrix> snap;
+  snap.reserve(m.parameters().size());
+  for (const Parameter* p : m.parameters()) snap.push_back(p->value());
+  return snap;
+}
+
+void restore_parameters(Module& m, const std::vector<Matrix>& snap) {
+  GNNHLS_CHECK_EQ(snap.size(), m.parameters().size(),
+                  "parameter snapshot shape mismatch");
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    m.parameters()[i]->mutable_value() = snap[i];
+  }
+}
+
+QorPredictor::QorPredictor(Approach approach, ModelConfig model_cfg,
+                           TrainConfig train_cfg, InfusedInference infused)
+    : approach_(approach),
+      model_cfg_(model_cfg),
+      train_cfg_(train_cfg),
+      infused_(infused) {}
+
+Matrix QorPredictor::training_features(const Sample& s) const {
+  // -I trains on ground-truth type bits (knowledge infusion).
+  return InputFeatureBuilder::build(s.graph(), approach_);
+}
+
+Matrix QorPredictor::inference_features(const Sample& s) const {
+  if (approach_ != Approach::kKnowledgeInfused ||
+      infused_ == InfusedInference::kOracle) {
+    return InputFeatureBuilder::build(s.graph(), approach_);
+  }
+  // Hierarchical inference: self-inferred resource types replace labels.
+  GNNHLS_CHECK(classifier_ != nullptr, "predict before fit");
+  const Matrix base = InputFeatureBuilder::build(
+      s.graph(), Approach::kOffTheShelf);
+  const auto inferred = classifier_->infer_types(s.tensors, base);
+  return InputFeatureBuilder::build(s.graph(), approach_, &inferred);
+}
+
+void QorPredictor::fit_classifier(const std::vector<Sample>& samples,
+                                  const std::vector<int>& train_idx) {
+  Rng init_rng(train_cfg_.seed * 7919 + 13);
+  classifier_ = std::make_unique<NodeClassifier>(
+      model_cfg_, InputFeatureBuilder::feature_dim(Approach::kOffTheShelf),
+      init_rng);
+  Adam opt(*classifier_, AdamConfig{.lr = train_cfg_.lr,
+                                    .weight_decay = train_cfg_.weight_decay,
+                                    .grad_clip = train_cfg_.grad_clip});
+  Rng order_rng(train_cfg_.seed * 31 + 7);
+  Rng dropout_rng(train_cfg_.seed * 17 + 3);
+  std::vector<int> order = train_idx;
+  for (int epoch = 0; epoch < train_cfg_.epochs; ++epoch) {
+    opt.set_lr(lr_at_epoch(train_cfg_.lr, epoch, train_cfg_.epochs));
+    order_rng.shuffle(order);
+    int accumulated = 0;
+    for (int idx : order) {
+      const Sample& s = samples[static_cast<std::size_t>(idx)];
+      const Matrix feats =
+          InputFeatureBuilder::build(s.graph(), Approach::kOffTheShelf);
+      Tape tape;
+      const Var logits = classifier_->forward(tape, s.tensors, feats,
+                                              dropout_rng, true);
+      const Var loss = tape.bce_with_logits_loss(
+          logits, InputFeatureBuilder::node_type_labels(s.graph()));
+      tape.backward(loss);
+      if (++accumulated >= train_cfg_.batch_graphs) {
+        opt.step();
+        accumulated = 0;
+      }
+    }
+    if (accumulated > 0) opt.step();
+  }
+}
+
+double QorPredictor::fit(const std::vector<Sample>& samples,
+                         const SplitIndices& split, Metric metric) {
+  metric_ = metric;
+  GNNHLS_CHECK(!split.train.empty() && !split.val.empty(),
+               "fit: empty train/val split");
+
+  if (approach_ == Approach::kKnowledgeInfused &&
+      infused_ == InfusedInference::kSelfInferred) {
+    fit_classifier(samples, split.train);
+  }
+
+  Rng init_rng(train_cfg_.seed * 104729 + static_cast<int>(metric));
+  regressor_ = std::make_unique<GraphRegressor>(
+      model_cfg_, InputFeatureBuilder::feature_dim(approach_), init_rng);
+  Adam opt(*regressor_, AdamConfig{.lr = train_cfg_.lr,
+                                   .weight_decay = train_cfg_.weight_decay,
+                                   .grad_clip = train_cfg_.grad_clip});
+
+  // Pre-encode targets and cache training features.
+  std::vector<Matrix> feats(samples.size());
+  for (int idx : split.train) {
+    feats[static_cast<std::size_t>(idx)] =
+        training_features(samples[static_cast<std::size_t>(idx)]);
+  }
+
+  Rng order_rng(train_cfg_.seed * 31 + 1);
+  Rng dropout_rng(train_cfg_.seed * 17 + 2);
+  std::vector<int> order = split.train;
+  double best_val = std::numeric_limits<double>::infinity();
+  std::vector<Matrix> best_params;
+
+  for (int epoch = 0; epoch < train_cfg_.epochs; ++epoch) {
+    opt.set_lr(lr_at_epoch(train_cfg_.lr, epoch, train_cfg_.epochs));
+    order_rng.shuffle(order);
+    int accumulated = 0;
+    for (int idx : order) {
+      const Sample& s = samples[static_cast<std::size_t>(idx)];
+      Tape tape;
+      const Var pred =
+          regressor_->forward(tape, s.tensors,
+                              feats[static_cast<std::size_t>(idx)],
+                              dropout_rng, true);
+      Matrix target(1, 1, encode_target(metric_of(s.truth, metric), metric));
+      tape.backward(tape.mse_loss(pred, target));
+      if (++accumulated >= train_cfg_.batch_graphs) {
+        opt.step();
+        accumulated = 0;
+      }
+    }
+    if (accumulated > 0) opt.step();
+
+    // Validation model selection. NOTE: -I validates through the full
+    // hierarchical path (classifier bits), matching deployment.
+    const double val = evaluate_mape(samples, split.val);
+    if (val < best_val) {
+      best_val = val;
+      best_params = snapshot_parameters(*regressor_);
+    }
+  }
+  if (!best_params.empty()) restore_parameters(*regressor_, best_params);
+  return best_val;
+}
+
+double QorPredictor::predict(const Sample& sample) const {
+  GNNHLS_CHECK(regressor_ != nullptr, "predict before fit");
+  const float encoded =
+      regressor_->predict(sample.tensors, inference_features(sample));
+  return decode_target(encoded, metric_);
+}
+
+double QorPredictor::evaluate_mape(const std::vector<Sample>& samples,
+                                   const std::vector<int>& idx) const {
+  std::vector<double> pred, truth;
+  pred.reserve(idx.size());
+  truth.reserve(idx.size());
+  for (int i : idx) {
+    const Sample& s = samples[static_cast<std::size_t>(i)];
+    pred.push_back(predict(s));
+    truth.push_back(metric_of(s.truth, metric_));
+  }
+  return mape(pred, truth);
+}
+
+// ----- NodeTypePredictor -----
+
+NodeTypePredictor::NodeTypePredictor(ModelConfig model_cfg,
+                                     TrainConfig train_cfg)
+    : model_cfg_(model_cfg), train_cfg_(train_cfg) {}
+
+double NodeTypePredictor::fit(const std::vector<Sample>& samples,
+                              const SplitIndices& split) {
+  Rng init_rng(train_cfg_.seed * 7919 + 13);
+  classifier_ = std::make_unique<NodeClassifier>(
+      model_cfg_, InputFeatureBuilder::feature_dim(Approach::kOffTheShelf),
+      init_rng);
+  Adam opt(*classifier_, AdamConfig{.lr = train_cfg_.lr,
+                                    .weight_decay = train_cfg_.weight_decay,
+                                    .grad_clip = train_cfg_.grad_clip});
+  Rng order_rng(train_cfg_.seed * 31 + 7);
+  Rng dropout_rng(train_cfg_.seed * 17 + 3);
+  std::vector<int> order = split.train;
+  double best_val = 0.0;
+  std::vector<Matrix> best_params;
+  for (int epoch = 0; epoch < train_cfg_.epochs; ++epoch) {
+    opt.set_lr(lr_at_epoch(train_cfg_.lr, epoch, train_cfg_.epochs));
+    order_rng.shuffle(order);
+    int accumulated = 0;
+    for (int idx : order) {
+      const Sample& s = samples[static_cast<std::size_t>(idx)];
+      const Matrix feats =
+          InputFeatureBuilder::build(s.graph(), Approach::kOffTheShelf);
+      Tape tape;
+      const Var logits =
+          classifier_->forward(tape, s.tensors, feats, dropout_rng, true);
+      const Var loss = tape.bce_with_logits_loss(
+          logits, InputFeatureBuilder::node_type_labels(s.graph()));
+      tape.backward(loss);
+      if (++accumulated >= train_cfg_.batch_graphs) {
+        opt.step();
+        accumulated = 0;
+      }
+    }
+    if (accumulated > 0) opt.step();
+
+    const NodeClassifierScores val = evaluate(samples, split.val);
+    const double mean_acc = (val.dsp + val.lut + val.ff) / 3.0;
+    if (mean_acc > best_val) {
+      best_val = mean_acc;
+      best_params = snapshot_parameters(*classifier_);
+    }
+  }
+  if (!best_params.empty()) restore_parameters(*classifier_, best_params);
+  return best_val;
+}
+
+NodeClassifierScores NodeTypePredictor::evaluate(
+    const std::vector<Sample>& samples, const std::vector<int>& idx) const {
+  GNNHLS_CHECK(classifier_ != nullptr, "evaluate before fit");
+  std::array<std::vector<int>, 3> pred, truth;
+  for (int i : idx) {
+    const Sample& s = samples[static_cast<std::size_t>(i)];
+    const Matrix feats =
+        InputFeatureBuilder::build(s.graph(), Approach::kOffTheShelf);
+    const auto inferred = classifier_->infer_types(s.tensors, feats);
+    const Matrix labels = InputFeatureBuilder::node_type_labels(s.graph());
+    for (int v = 0; v < s.graph().num_nodes(); ++v) {
+      const auto& t = inferred[static_cast<std::size_t>(v)];
+      pred[0].push_back(t.dsp > 0.5F);
+      pred[1].push_back(t.lut > 0.5F);
+      pred[2].push_back(t.ff > 0.5F);
+      truth[0].push_back(labels(v, 0) > 0.5F);
+      truth[1].push_back(labels(v, 1) > 0.5F);
+      truth[2].push_back(labels(v, 2) > 0.5F);
+    }
+  }
+  NodeClassifierScores scores;
+  scores.dsp = binary_accuracy(pred[0], truth[0]);
+  scores.lut = binary_accuracy(pred[1], truth[1]);
+  scores.ff = binary_accuracy(pred[2], truth[2]);
+  return scores;
+}
+
+}  // namespace gnnhls

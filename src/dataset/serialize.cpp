@@ -1,0 +1,149 @@
+#include "dataset/serialize.h"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+namespace gnnhls {
+
+namespace {
+
+constexpr const char* kMagic = "gnnhls-benchmark v1";
+
+void write_one(std::ostream& os, const IrGraph& g,
+               const QualityOfResult& truth, const QualityOfResult& report,
+               const std::string& origin) {
+  os << "graph " << (origin.empty() ? "unnamed" : origin) << ' '
+     << (g.kind() == GraphKind::kDfg ? "dfg" : "cdfg") << ' '
+     << g.num_nodes() << ' ' << g.num_edges() << '\n';
+  os << "qor " << truth.dsp << ' ' << truth.lut << ' ' << truth.ff << ' '
+     << truth.cp_ns << '\n';
+  os << "report " << report.dsp << ' ' << report.lut << ' ' << report.ff
+     << ' ' << report.cp_ns << '\n';
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    const IrNode& n = g.node(i);
+    os << "node " << static_cast<int>(n.type) << ' '
+       << static_cast<int>(n.opcode) << ' ' << n.bitwidth << ' '
+       << (n.is_start_of_path ? 1 : 0) << ' ' << n.cluster_group << ' '
+       << (n.is_const ? 1 : 0) << ' ' << (n.resource.uses_dsp ? 1 : 0) << ' '
+       << (n.resource.uses_lut ? 1 : 0) << ' ' << (n.resource.uses_ff ? 1 : 0)
+       << ' ' << n.resource.dsp << ' ' << n.resource.lut << ' '
+       << n.resource.ff << '\n';
+  }
+  for (const IrEdge& e : g.edges()) {
+    os << "edge " << e.src << ' ' << e.dst << ' ' << static_cast<int>(e.type)
+       << ' ' << (e.is_back_edge ? 1 : 0) << '\n';
+  }
+  os << "end\n";
+}
+
+[[noreturn]] void parse_error(const std::string& what) {
+  throw std::invalid_argument("benchmark parse error: " + what);
+}
+
+}  // namespace
+
+void write_benchmark(std::ostream& os, const std::vector<Sample>& samples) {
+  // Exact round-trip for doubles/floats.
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << kMagic << '\n';
+  for (const Sample& s : samples) {
+    write_one(os, s.graph(), s.truth, s.hls_report, s.origin);
+  }
+  GNNHLS_CHECK(static_cast<bool>(os), "benchmark write failed");
+}
+
+void write_benchmark_file(const std::string& path,
+                          const std::vector<Sample>& samples) {
+  std::ofstream os(path);
+  GNNHLS_CHECK(os.is_open(), "cannot open " + path + " for writing");
+  write_benchmark(os, samples);
+}
+
+std::vector<BenchmarkRecord> read_benchmark(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != kMagic) {
+    parse_error("bad or missing header (expected '" + std::string(kMagic) +
+                "')");
+  }
+
+  std::vector<BenchmarkRecord> records;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream header(line);
+    std::string tag, name, kind_str;
+    int num_nodes = 0, num_edges = 0;
+    header >> tag >> name >> kind_str >> num_nodes >> num_edges;
+    if (tag != "graph" || header.fail()) parse_error("expected graph line");
+    if (kind_str != "dfg" && kind_str != "cdfg") {
+      parse_error("unknown graph kind " + kind_str);
+    }
+    if (num_nodes <= 0 || num_edges < 0) parse_error("bad graph dimensions");
+
+    BenchmarkRecord rec;
+    rec.origin = name;
+    rec.graph = IrGraph(
+        kind_str == "dfg" ? GraphKind::kDfg : GraphKind::kCdfg, name);
+
+    const auto read_qor = [&](const char* expect, QualityOfResult& q) {
+      if (!std::getline(is, line)) parse_error("truncated record");
+      std::istringstream ls(line);
+      std::string t;
+      ls >> t >> q.dsp >> q.lut >> q.ff >> q.cp_ns;
+      if (t != expect || ls.fail()) {
+        parse_error(std::string("expected ") + expect + " line");
+      }
+    };
+    read_qor("qor", rec.truth);
+    read_qor("report", rec.hls_report);
+
+    for (int i = 0; i < num_nodes; ++i) {
+      if (!std::getline(is, line)) parse_error("truncated nodes");
+      std::istringstream ls(line);
+      std::string t;
+      int type = 0, opcode = 0, start = 0, is_const = 0, udsp = 0, ulut = 0,
+          uff = 0;
+      IrNode n;
+      ls >> t >> type >> opcode >> n.bitwidth >> start >> n.cluster_group >>
+          is_const >> udsp >> ulut >> uff >> n.resource.dsp >>
+          n.resource.lut >> n.resource.ff;
+      if (t != "node" || ls.fail()) parse_error("bad node line");
+      if (type < 0 || type >= kNumNodeGeneralTypes) parse_error("bad type");
+      if (opcode < 0 || opcode >= kNumOpcodes) parse_error("bad opcode");
+      n.type = static_cast<NodeGeneralType>(type);
+      n.opcode = static_cast<Opcode>(opcode);
+      n.is_const = is_const != 0;
+      n.resource.uses_dsp = udsp != 0;
+      n.resource.uses_lut = ulut != 0;
+      n.resource.uses_ff = uff != 0;
+      (void)start;  // recomputed by finalize()
+      rec.graph.add_node(n);
+    }
+    for (int i = 0; i < num_edges; ++i) {
+      if (!std::getline(is, line)) parse_error("truncated edges");
+      std::istringstream ls(line);
+      std::string t;
+      int src = 0, dst = 0, type = 0, back = 0;
+      ls >> t >> src >> dst >> type >> back;
+      if (t != "edge" || ls.fail()) parse_error("bad edge line");
+      if (type < 0 || type >= kNumEdgeTypes) parse_error("bad edge type");
+      rec.graph.add_edge(src, dst, static_cast<EdgeType>(type), back != 0);
+    }
+    if (!std::getline(is, line) || line != "end") {
+      parse_error("missing end marker");
+    }
+    rec.graph.finalize();
+    rec.tensors = GraphTensors::build(rec.graph);
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+std::vector<BenchmarkRecord> read_benchmark_file(const std::string& path) {
+  std::ifstream is(path);
+  GNNHLS_CHECK(is.is_open(), "cannot open " + path);
+  return read_benchmark(is);
+}
+
+}  // namespace gnnhls

@@ -1,0 +1,51 @@
+// Benchmark serialization — the paper's released-benchmark deliverable
+// ("we build a standard benchmark ... to benefit follow-up researches").
+//
+// A dataset is written as a line-oriented text format that is diffable,
+// versioned and loadable without this library:
+//
+//   gnnhls-benchmark v1
+//   graph <name> <kind> <num_nodes> <num_edges>
+//   qor <dsp> <lut> <ff> <cp_ns>
+//   report <dsp> <lut> <ff> <cp_ns>
+//   node <type> <opcode> <bitwidth> <start> <cluster> <const> \
+//        <uses_dsp> <uses_lut> <uses_ff> <dsp> <lut> <ff>     (x num_nodes)
+//   edge <src> <dst> <type> <back>                            (x num_edges)
+//   end
+//
+// Round-tripping is exact for everything a predictor consumes (features,
+// topology, labels); block-level scheduling info is intentionally not
+// serialized — it is an HLS-internal, not part of the benchmark format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "dataset/dataset.h"
+
+namespace gnnhls {
+
+/// A deserialized benchmark record: annotated graph + labels.
+/// (No LoweredProgram — consumers of a serialized benchmark never re-run
+/// HLS, exactly like users of the paper's released dataset.)
+struct BenchmarkRecord {
+  IrGraph graph;
+  GraphTensors tensors;
+  QualityOfResult truth;
+  QualityOfResult hls_report;
+  std::string origin;
+
+  BenchmarkRecord() : graph(GraphKind::kDfg) {}
+};
+
+/// Writes samples in benchmark format. Throws on I/O failure.
+void write_benchmark(std::ostream& os, const std::vector<Sample>& samples);
+void write_benchmark_file(const std::string& path,
+                          const std::vector<Sample>& samples);
+
+/// Reads a benchmark stream; validates the header and graph structure.
+std::vector<BenchmarkRecord> read_benchmark(std::istream& is);
+std::vector<BenchmarkRecord> read_benchmark_file(const std::string& path);
+
+}  // namespace gnnhls

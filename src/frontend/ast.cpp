@@ -1,0 +1,176 @@
+#include "frontend/ast.h"
+
+namespace gnnhls {
+
+ExprPtr Expr::clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->name = name;
+  e->value = value;
+  e->bin_op = bin_op;
+  e->un_op = un_op;
+  e->bits = bits;
+  e->is_signed = is_signed;
+  e->children.reserve(children.size());
+  for (const auto& c : children) e->children.push_back(c->clone());
+  return e;
+}
+
+ExprPtr var(std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kVarRef;
+  e->name = std::move(name);
+  return e;
+}
+
+ExprPtr lit(long value, int bits) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kIntLit;
+  e->value = value;
+  e->bits = bits;
+  return e;
+}
+
+ExprPtr bin(BinOpKind op, ExprPtr lhs, ExprPtr rhs) {
+  GNNHLS_CHECK(lhs && rhs, "bin: null operand");
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kBinary;
+  e->bin_op = op;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr un(UnOpKind op, ExprPtr operand) {
+  GNNHLS_CHECK(operand, "un: null operand");
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kUnary;
+  e->un_op = op;
+  e->children.push_back(std::move(operand));
+  return e;
+}
+
+ExprPtr aref(std::string array, ExprPtr index) {
+  GNNHLS_CHECK(index, "aref: null index");
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kArrayRef;
+  e->name = std::move(array);
+  e->children.push_back(std::move(index));
+  return e;
+}
+
+ExprPtr select(ExprPtr cond, ExprPtr then_v, ExprPtr else_v) {
+  GNNHLS_CHECK(cond && then_v && else_v, "select: null operand");
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kSelect;
+  e->children.push_back(std::move(cond));
+  e->children.push_back(std::move(then_v));
+  e->children.push_back(std::move(else_v));
+  return e;
+}
+
+ExprPtr cast(ExprPtr operand, int bits, bool is_signed) {
+  GNNHLS_CHECK(operand, "cast: null operand");
+  auto e = std::make_unique<Expr>();
+  e->kind = Expr::Kind::kCast;
+  e->bits = bits;
+  e->is_signed = is_signed;
+  e->children.push_back(std::move(operand));
+  return e;
+}
+
+StmtPtr decl(std::string name, ScalarType type, ExprPtr init) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = Stmt::Kind::kDeclScalar;
+  s->name = std::move(name);
+  s->type = type;
+  s->expr = std::move(init);
+  return s;
+}
+
+StmtPtr decl_array(std::string name, ScalarType elem, int size) {
+  GNNHLS_CHECK(size > 0, "decl_array: size must be positive");
+  auto s = std::make_unique<Stmt>();
+  s->kind = Stmt::Kind::kDeclArray;
+  s->name = std::move(name);
+  s->type = elem;
+  s->array_size = size;
+  return s;
+}
+
+StmtPtr assign(std::string name, ExprPtr value) {
+  GNNHLS_CHECK(value, "assign: null value");
+  auto s = std::make_unique<Stmt>();
+  s->kind = Stmt::Kind::kAssign;
+  s->name = std::move(name);
+  s->expr = std::move(value);
+  return s;
+}
+
+StmtPtr assign_array(std::string name, ExprPtr index, ExprPtr value) {
+  GNNHLS_CHECK(index && value, "assign_array: null operand");
+  auto s = std::make_unique<Stmt>();
+  s->kind = Stmt::Kind::kAssignArray;
+  s->name = std::move(name);
+  s->index = std::move(index);
+  s->expr = std::move(value);
+  return s;
+}
+
+StmtPtr if_stmt(ExprPtr cond, std::vector<StmtPtr> then_body,
+                std::vector<StmtPtr> else_body) {
+  GNNHLS_CHECK(cond, "if_stmt: null condition");
+  auto s = std::make_unique<Stmt>();
+  s->kind = Stmt::Kind::kIf;
+  s->expr = std::move(cond);
+  s->body = std::move(then_body);
+  s->else_body = std::move(else_body);
+  return s;
+}
+
+StmtPtr for_stmt(std::string induction, long begin, long end, long step,
+                 std::vector<StmtPtr> body) {
+  GNNHLS_CHECK(step > 0, "for_stmt: step must be positive");
+  auto s = std::make_unique<Stmt>();
+  s->kind = Stmt::Kind::kFor;
+  s->name = std::move(induction);
+  s->loop_begin = begin;
+  s->loop_end = end;
+  s->loop_step = step;
+  s->body = std::move(body);
+  return s;
+}
+
+StmtPtr ret(ExprPtr value) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = Stmt::Kind::kReturn;
+  s->expr = std::move(value);
+  return s;
+}
+
+namespace {
+
+bool stmts_have_control_flow(const std::vector<StmtPtr>& stmts) {
+  for (const auto& s : stmts) {
+    if (s->kind == Stmt::Kind::kIf || s->kind == Stmt::Kind::kFor) return true;
+  }
+  return false;
+}
+
+int count_stmts(const std::vector<StmtPtr>& stmts) {
+  int n = 0;
+  for (const auto& s : stmts) {
+    n += 1 + count_stmts(s->body) + count_stmts(s->else_body);
+  }
+  return n;
+}
+
+}  // namespace
+
+bool Function::has_control_flow() const {
+  return stmts_have_control_flow(body);
+}
+
+int Function::statement_count() const { return count_stmts(body); }
+
+}  // namespace gnnhls

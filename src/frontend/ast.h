@@ -1,0 +1,138 @@
+// Mini-C abstract syntax tree.
+//
+// This is the "behavioral program" entry point of the flow (paper Fig. 1a/b):
+// synthesizable, integer-only C with scalars, fixed-size arrays, counted
+// loops and if/else. Both the ldrgen-style synthetic generator (src/progen)
+// and the real-world suite kernels (src/suites) produce these ASTs; the
+// lowering in lower.h turns them into DFG/CDFG IR graphs.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/check.h"
+
+namespace gnnhls {
+
+struct ScalarType {
+  int bits = 32;
+  bool is_signed = true;
+};
+
+enum class BinOpKind {
+  kAdd, kSub, kMul, kDiv, kRem,
+  kAnd, kOr, kXor, kShl, kShr,
+  kLt, kGt, kLe, kGe, kEq, kNe
+};
+
+enum class UnOpKind { kNeg, kNot };
+
+constexpr bool is_comparison(BinOpKind op) {
+  return op == BinOpKind::kLt || op == BinOpKind::kGt ||
+         op == BinOpKind::kLe || op == BinOpKind::kGe ||
+         op == BinOpKind::kEq || op == BinOpKind::kNe;
+}
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum class Kind {
+    kVarRef,    // name
+    kIntLit,    // value, bits
+    kBinary,    // bin_op, children[0], children[1]
+    kUnary,     // un_op, children[0]
+    kArrayRef,  // name, children[0] = index
+    kSelect,    // children[0] ? children[1] : children[2]
+    kCast       // children[0] cast to bits/is_signed
+  };
+
+  Kind kind = Kind::kIntLit;
+  std::string name;
+  long value = 0;
+  BinOpKind bin_op = BinOpKind::kAdd;
+  UnOpKind un_op = UnOpKind::kNeg;
+  int bits = 32;
+  bool is_signed = true;
+  std::vector<ExprPtr> children;
+
+  ExprPtr clone() const;
+};
+
+// ----- expression builders -----
+ExprPtr var(std::string name);
+ExprPtr lit(long value, int bits = 32);
+ExprPtr bin(BinOpKind op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr un(UnOpKind op, ExprPtr operand);
+ExprPtr aref(std::string array, ExprPtr index);
+ExprPtr select(ExprPtr cond, ExprPtr then_v, ExprPtr else_v);
+ExprPtr cast(ExprPtr operand, int bits, bool is_signed = true);
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  enum class Kind {
+    kDeclScalar,   // name : type = expr (expr optional)
+    kDeclArray,    // name : type[array_size], zero-initialized local
+    kAssign,       // name = expr
+    kAssignArray,  // name[index] = expr
+    kIf,           // if (expr) body else else_body
+    kFor,          // for (name = loop_begin; name < loop_end; name += loop_step)
+    kReturn        // return expr (expr optional)
+  };
+
+  Kind kind = Kind::kAssign;
+  std::string name;
+  ScalarType type;
+  int array_size = 0;
+  ExprPtr expr;
+  ExprPtr index;
+  std::vector<StmtPtr> body;
+  std::vector<StmtPtr> else_body;
+  long loop_begin = 0;
+  long loop_end = 0;
+  long loop_step = 1;
+
+  /// Constant trip count of a kFor statement.
+  long trip_count() const {
+    GNNHLS_CHECK(kind == Kind::kFor, "trip_count on non-loop");
+    if (loop_end <= loop_begin || loop_step <= 0) return 0;
+    return (loop_end - loop_begin + loop_step - 1) / loop_step;
+  }
+};
+
+// ----- statement builders -----
+StmtPtr decl(std::string name, ScalarType type, ExprPtr init = nullptr);
+StmtPtr decl_array(std::string name, ScalarType elem, int size);
+StmtPtr assign(std::string name, ExprPtr value);
+StmtPtr assign_array(std::string name, ExprPtr index, ExprPtr value);
+StmtPtr if_stmt(ExprPtr cond, std::vector<StmtPtr> then_body,
+                std::vector<StmtPtr> else_body = {});
+StmtPtr for_stmt(std::string induction, long begin, long end, long step,
+                 std::vector<StmtPtr> body);
+StmtPtr ret(ExprPtr value = nullptr);
+
+struct Param {
+  std::string name;
+  ScalarType type;
+  int array_size = 0;  // 0 = scalar
+  bool is_output = false;
+};
+
+/// A single synthesizable top function (HLS designs are single-kernel).
+struct Function {
+  std::string name;
+  std::vector<Param> params;
+  std::vector<StmtPtr> body;
+
+  /// True if the body contains any loop or branch (=> lowers to a CDFG;
+  /// otherwise it is a single basic block => DFG).
+  bool has_control_flow() const;
+
+  /// Number of statements, recursively (size diagnostic).
+  int statement_count() const;
+};
+
+}  // namespace gnnhls

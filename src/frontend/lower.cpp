@@ -1,0 +1,551 @@
+#include "frontend/lower.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace gnnhls {
+
+namespace {
+
+/// An SSA value: a node id plus its type.
+struct Value {
+  int node = -1;
+  int bits = 32;
+  bool is_signed = true;
+};
+
+struct ArrayInfo {
+  int elem_bits = 32;
+  int size = 0;
+  int last_store = -1;  // node id of the most recent store (memory dep)
+  bool is_param = false;
+};
+
+Opcode opcode_for_bin(BinOpKind op) {
+  switch (op) {
+    case BinOpKind::kAdd: return Opcode::kAdd;
+    case BinOpKind::kSub: return Opcode::kSub;
+    case BinOpKind::kMul: return Opcode::kMul;
+    case BinOpKind::kDiv: return Opcode::kSDiv;
+    case BinOpKind::kRem: return Opcode::kSRem;
+    case BinOpKind::kAnd: return Opcode::kAnd;
+    case BinOpKind::kOr: return Opcode::kOr;
+    case BinOpKind::kXor: return Opcode::kXor;
+    case BinOpKind::kShl: return Opcode::kShl;
+    case BinOpKind::kShr: return Opcode::kAShr;
+    case BinOpKind::kLt:
+    case BinOpKind::kGt:
+    case BinOpKind::kLe:
+    case BinOpKind::kGe:
+    case BinOpKind::kEq:
+    case BinOpKind::kNe:
+      return Opcode::kICmp;
+  }
+  return Opcode::kAdd;
+}
+
+/// Shared lowering machinery for both graph kinds. In DFG mode there are no
+/// block nodes and exactly one BasicBlockInfo; in CDFG mode the full
+/// structured-SSA construction runs.
+class Lowering {
+ public:
+  Lowering(const Function& f, GraphKind kind)
+      : func_(f), kind_(kind), out_(kind, f.name) {}
+
+  LoweredProgram run() {
+    if (kind_ == GraphKind::kDfg) {
+      GNNHLS_CHECK(!func_.has_control_flow(),
+                   "DFG lowering requires a straight-line function body");
+    }
+    open_block(/*loop_depth=*/0, /*exec=*/1.0, /*is_header=*/false);
+    lower_params();
+    lower_stmts(func_.body);
+    finish();
+    return std::move(out_);
+  }
+
+ private:
+  // ----- block management -----
+
+  int open_block(int loop_depth, double exec, bool is_header) {
+    BasicBlockInfo info;
+    info.id = static_cast<int>(out_.blocks.size());
+    info.loop_depth = loop_depth;
+    info.exec_count = exec;
+    info.is_loop_header = is_header;
+    if (kind_ == GraphKind::kCdfg) {
+      IrNode n;
+      n.type = NodeGeneralType::kBlockNode;
+      n.opcode = Opcode::kBlock;
+      n.bitwidth = 0;
+      n.cluster_group = std::min(info.id, 256);
+      info.block_node = out_.graph.add_node(n);
+    }
+    out_.blocks.push_back(info);
+    current_block_ = info.id;
+    return info.id;
+  }
+
+  BasicBlockInfo& block() {
+    return out_.blocks[static_cast<std::size_t>(current_block_)];
+  }
+
+  /// Adds an operation node to the current block.
+  int new_op(Opcode op, int bits,
+             NodeGeneralType type = NodeGeneralType::kOperation) {
+    IrNode n;
+    n.type = type;
+    n.opcode = op;
+    n.bitwidth = std::min(bits, 256);
+    n.cluster_group = std::min(current_block_, 256);
+    const int id = out_.graph.add_node(n);
+    block().ops.push_back(id);
+    return id;
+  }
+
+  void data_edge(int src, int dst, bool back = false) {
+    out_.graph.add_edge(src, dst, EdgeType::kData, back);
+  }
+  void control_edge(int src, int dst, bool back = false) {
+    out_.graph.add_edge(src, dst, EdgeType::kControl, back);
+  }
+  void memory_edge(int src, int dst, bool back = false) {
+    out_.graph.add_edge(src, dst, EdgeType::kMemory, back);
+  }
+
+  // ----- constants & ports -----
+
+  /// Constants are shared per (value, bits) within a block scope, matching
+  /// compiler behaviour where literals are uniqued.
+  int const_node(long value, int bits) {
+    const auto key = std::make_pair(value, bits);
+    const auto it = const_cache_.find(key);
+    if (it != const_cache_.end()) return it->second;
+    IrNode n;
+    n.type = NodeGeneralType::kConstant;
+    n.opcode = Opcode::kConst;
+    n.bitwidth = std::min(bits, 256);
+    n.cluster_group = std::min(current_block_, 256);
+    n.is_const = true;
+    const int id = out_.graph.add_node(n);
+    const_cache_[key] = id;
+    return id;
+  }
+
+  void lower_params() {
+    for (const Param& p : func_.params) {
+      if (p.array_size > 0) {
+        arrays_[p.name] =
+            ArrayInfo{p.type.bits, p.array_size, /*last_store=*/-1,
+                      /*is_param=*/true};
+      } else {
+        IrNode n;
+        n.type = NodeGeneralType::kPort;
+        n.opcode = Opcode::kReadPort;
+        n.bitwidth = std::min(p.type.bits, 256);
+        n.cluster_group = std::min(current_block_, 256);
+        const int id = out_.graph.add_node(n);
+        env_[p.name] = Value{id, p.type.bits, p.type.is_signed};
+      }
+    }
+  }
+
+  // ----- expressions -----
+
+  Value lower_expr(const Expr& e) {
+    switch (e.kind) {
+      case Expr::Kind::kVarRef: {
+        const auto it = env_.find(e.name);
+        GNNHLS_CHECK(it != env_.end(), "use of undefined variable " + e.name);
+        return it->second;
+      }
+      case Expr::Kind::kIntLit:
+        return Value{const_node(e.value, e.bits), e.bits, e.is_signed};
+      case Expr::Kind::kBinary: {
+        const Value lhs = lower_expr(*e.children[0]);
+        const Value rhs = lower_expr(*e.children[1]);
+        const bool cmp = is_comparison(e.bin_op);
+        const int bits = cmp ? 1 : std::max(lhs.bits, rhs.bits);
+        const int id = new_op(opcode_for_bin(e.bin_op), cmp
+                                  ? std::max(lhs.bits, rhs.bits)
+                                  : bits);
+        data_edge(lhs.node, id);
+        data_edge(rhs.node, id);
+        return Value{id, bits, lhs.is_signed || rhs.is_signed};
+      }
+      case Expr::Kind::kUnary: {
+        const Value operand = lower_expr(*e.children[0]);
+        // neg x -> 0 - x ; ~x -> x xor -1 (LLVM canonical forms)
+        const int id = new_op(
+            e.un_op == UnOpKind::kNeg ? Opcode::kSub : Opcode::kXor,
+            operand.bits);
+        const int zero = const_node(e.un_op == UnOpKind::kNeg ? 0 : -1,
+                                    operand.bits);
+        if (e.un_op == UnOpKind::kNeg) {
+          data_edge(zero, id);
+          data_edge(operand.node, id);
+        } else {
+          data_edge(operand.node, id);
+          data_edge(zero, id);
+        }
+        return Value{id, operand.bits, operand.is_signed};
+      }
+      case Expr::Kind::kArrayRef:
+        return lower_array_load(e);
+      case Expr::Kind::kSelect: {
+        const Value c = lower_expr(*e.children[0]);
+        const Value a = lower_expr(*e.children[1]);
+        const Value b = lower_expr(*e.children[2]);
+        const int bits = std::max(a.bits, b.bits);
+        const int id = new_op(Opcode::kSelect, bits);
+        data_edge(c.node, id);
+        data_edge(a.node, id);
+        data_edge(b.node, id);
+        return Value{id, bits, a.is_signed || b.is_signed};
+      }
+      case Expr::Kind::kCast: {
+        const Value v = lower_expr(*e.children[0]);
+        Opcode op = Opcode::kTrunc;
+        if (e.bits > v.bits) op = v.is_signed ? Opcode::kSExt : Opcode::kZExt;
+        const int id = new_op(op, e.bits);
+        data_edge(v.node, id);
+        return Value{id, e.bits, e.is_signed};
+      }
+    }
+    GNNHLS_CHECK(false, "unreachable expression kind");
+    return {};
+  }
+
+  ArrayInfo& array(const std::string& name) {
+    const auto it = arrays_.find(name);
+    GNNHLS_CHECK(it != arrays_.end(), "use of undefined array " + name);
+    return it->second;
+  }
+
+  Value lower_array_load(const Expr& e) {
+    ArrayInfo& info = array(e.name);
+    const Value idx = lower_expr(*e.children[0]);
+    const int gep = new_op(Opcode::kGetElementPtr, 32);
+    data_edge(idx.node, gep);
+    const int load = new_op(Opcode::kLoad, info.elem_bits);
+    data_edge(gep, load);
+    if (info.last_store >= 0) memory_edge(info.last_store, load);
+    return Value{load, info.elem_bits, true};
+  }
+
+  void lower_array_store(const std::string& name, const Expr& index,
+                         const Expr& value) {
+    ArrayInfo& info = array(name);
+    const Value idx = lower_expr(index);
+    const Value val = lower_expr(value);
+    const int gep = new_op(Opcode::kGetElementPtr, 32);
+    data_edge(idx.node, gep);
+    const int store = new_op(Opcode::kStore, info.elem_bits);
+    data_edge(gep, store);
+    data_edge(val.node, store);
+    if (info.last_store >= 0) memory_edge(info.last_store, store);
+    info.last_store = store;
+  }
+
+  // ----- statements -----
+
+  void lower_stmts(const std::vector<StmtPtr>& stmts) {
+    for (const auto& s : stmts) lower_stmt(*s);
+  }
+
+  void lower_stmt(const Stmt& s) {
+    switch (s.kind) {
+      case Stmt::Kind::kDeclScalar: {
+        Value v;
+        if (s.expr) {
+          v = lower_expr(*s.expr);
+        } else {
+          v = Value{const_node(0, s.type.bits), s.type.bits,
+                    s.type.is_signed};
+        }
+        v.bits = s.type.bits;
+        v.is_signed = s.type.is_signed;
+        env_[s.name] = v;
+        declared_bits_[s.name] = s.type;
+        return;
+      }
+      case Stmt::Kind::kDeclArray: {
+        // A local array becomes an alloca node (storage object).
+        const int alloca_id = new_op(Opcode::kAlloca, s.type.bits);
+        arrays_[s.name] = ArrayInfo{s.type.bits, s.array_size, alloca_id,
+                                    /*is_param=*/false};
+        return;
+      }
+      case Stmt::Kind::kAssign: {
+        Value v = lower_expr(*s.expr);
+        const auto it = declared_bits_.find(s.name);
+        if (it != declared_bits_.end()) {
+          v.bits = it->second.bits;
+          v.is_signed = it->second.is_signed;
+        }
+        env_[s.name] = v;
+        return;
+      }
+      case Stmt::Kind::kAssignArray:
+        lower_array_store(s.name, *s.index, *s.expr);
+        return;
+      case Stmt::Kind::kIf:
+        lower_if(s);
+        return;
+      case Stmt::Kind::kFor:
+        lower_for(s);
+        return;
+      case Stmt::Kind::kReturn: {
+        if (s.expr) {
+          const Value v = lower_expr(*s.expr);
+          const int port = new_op(Opcode::kWritePort, v.bits,
+                                  NodeGeneralType::kPort);
+          data_edge(v.node, port);
+        }
+        if (kind_ == GraphKind::kCdfg) {
+          const int r = new_op(Opcode::kRet, 0);
+          control_edge(block().block_node, r);
+        }
+        return;
+      }
+    }
+  }
+
+  /// Variables (re)assigned anywhere inside a statement list (recursive) —
+  /// candidates for phi nodes.
+  static void collect_assigned(const std::vector<StmtPtr>& stmts,
+                               std::set<std::string>& names) {
+    for (const auto& s : stmts) {
+      if (s->kind == Stmt::Kind::kAssign ||
+          s->kind == Stmt::Kind::kDeclScalar) {
+        names.insert(s->name);
+      }
+      if (s->kind == Stmt::Kind::kFor) names.insert(s->name);
+      collect_assigned(s->body, names);
+      collect_assigned(s->else_body, names);
+    }
+  }
+
+  void lower_if(const Stmt& s) {
+    GNNHLS_CHECK(kind_ == GraphKind::kCdfg, "if statement requires CDFG");
+    const Value cond = lower_expr(*s.expr);
+    const int br = new_op(Opcode::kBr, 1);
+    data_edge(cond.node, br);
+    control_edge(block().block_node, br);
+
+    const int depth = block().loop_depth;
+    const double exec = block().exec_count;
+    const auto env_before = env_;
+
+    // then block
+    const int then_bb = open_block(depth, exec * 0.5, false);
+    control_edge(br, out_.blocks[static_cast<std::size_t>(then_bb)].block_node);
+    lower_stmts(s.body);
+    const auto env_then = env_;
+    const int then_end_bb = current_block_;
+
+    // else block
+    env_ = env_before;
+    const int else_bb = open_block(depth, exec * 0.5, false);
+    control_edge(br, out_.blocks[static_cast<std::size_t>(else_bb)].block_node);
+    lower_stmts(s.else_body);
+    const auto env_else = env_;
+    const int else_end_bb = current_block_;
+
+    // merge block with phis for divergent values
+    const int merge_bb = open_block(depth, exec, false);
+    const int merge_node =
+        out_.blocks[static_cast<std::size_t>(merge_bb)].block_node;
+    const int then_br = branch_to(then_end_bb, merge_node);
+    const int else_br = branch_to(else_end_bb, merge_node);
+    (void)then_br;
+    (void)else_br;
+
+    env_ = env_before;
+    std::set<std::string> assigned;
+    collect_assigned(s.body, assigned);
+    collect_assigned(s.else_body, assigned);
+    for (const auto& name : assigned) {
+      const auto t = env_then.find(name);
+      const auto e = env_else.find(name);
+      // Locals declared inside the branch die there.
+      if (t == env_then.end() || e == env_else.end()) continue;
+      if (t->second.node == e->second.node) {
+        env_[name] = t->second;
+        continue;
+      }
+      const int bits = std::max(t->second.bits, e->second.bits);
+      const int phi = new_op(Opcode::kPhi, bits);
+      data_edge(t->second.node, phi);
+      data_edge(e->second.node, phi);
+      control_edge(merge_node, phi);
+      env_[name] = Value{phi, bits,
+                         t->second.is_signed || e->second.is_signed};
+    }
+  }
+
+  /// Terminates `bb` with an unconditional branch to `target_block_node`.
+  int branch_to(int bb, int target_block_node, bool back = false) {
+    const int saved = current_block_;
+    current_block_ = bb;
+    const int br = new_op(Opcode::kBr, 0);
+    control_edge(out_.blocks[static_cast<std::size_t>(bb)].block_node, br);
+    control_edge(br, target_block_node, back);
+    current_block_ = saved;
+    return br;
+  }
+
+  void lower_for(const Stmt& s) {
+    GNNHLS_CHECK(kind_ == GraphKind::kCdfg, "for statement requires CDFG");
+    const long trip = std::max<long>(s.trip_count(), 1);
+    const int preheader_bb = current_block_;
+    const int depth = block().loop_depth;
+    const double exec = block().exec_count;
+
+    // Values that change across iterations need header phis.
+    std::set<std::string> carried;
+    collect_assigned(s.body, carried);
+    carried.insert(s.name);  // induction variable
+
+    // header block
+    const int header_bb =
+        open_block(depth + 1, exec, /*is_header=*/true);
+    const int header_node =
+        out_.blocks[static_cast<std::size_t>(header_bb)].block_node;
+    branch_to(preheader_bb, header_node);
+
+    // phis: initial value edge now, loop-carried back edge after the body.
+    std::map<std::string, int> phis;
+    const auto env_pre = env_;
+    current_block_ = header_bb;
+    for (const auto& name : carried) {
+      Value init;
+      if (name == s.name) {
+        init = Value{const_node(s.loop_begin, 32), 32, true};
+      } else {
+        const auto it = env_pre.find(name);
+        if (it == env_pre.end()) continue;  // declared inside the loop body
+        init = it->second;
+      }
+      const int phi = new_op(Opcode::kPhi, init.bits);
+      data_edge(init.node, phi);
+      control_edge(header_node, phi);
+      phis[name] = phi;
+      env_[name] = Value{phi, init.bits, init.is_signed};
+    }
+
+    // exit test: icmp(i < end); br -> {body, exit}
+    const int bound = const_node(s.loop_end, 32);
+    const int cmp = new_op(Opcode::kICmp, 32);
+    data_edge(phis.at(s.name), cmp);
+    data_edge(bound, cmp);
+    const int br = new_op(Opcode::kBr, 1);
+    data_edge(cmp, br);
+    control_edge(header_node, br);
+
+    // body
+    const double body_exec = exec * static_cast<double>(trip);
+    const int body_bb = open_block(depth + 1, body_exec, false);
+    control_edge(br, out_.blocks[static_cast<std::size_t>(body_bb)].block_node);
+    lower_stmts(s.body);
+
+    // latch: i += step, back edges to the header
+    const int step_const = const_node(s.loop_step, 32);
+    const int inc = new_op(Opcode::kAdd, 32);
+    data_edge(env_.at(s.name).node, inc);
+    data_edge(step_const, inc);
+    env_[s.name] = Value{inc, 32, true};
+    const int latch_bb = current_block_;
+    branch_to(latch_bb, header_node, /*back=*/true);
+
+    for (const auto& [name, phi] : phis) {
+      const auto it = env_.find(name);
+      if (it == env_.end()) continue;
+      if (it->second.node != phi) {
+        data_edge(it->second.node, phi, /*back=*/true);
+      }
+    }
+
+    // exit block; values after the loop are the header phis
+    const int exit_bb = open_block(depth, exec, false);
+    control_edge(br, out_.blocks[static_cast<std::size_t>(exit_bb)].block_node);
+    env_ = env_pre;
+    for (const auto& [name, phi] : phis) {
+      const auto pre = env_pre.find(name);
+      const int bits = pre != env_pre.end() ? pre->second.bits : 32;
+      env_[name] = Value{phi, bits, true};
+    }
+  }
+
+  void finish() {
+    // Straight-line DFG programs with outputs only through arrays still
+    // need at least one sink; ensure live scalar results feed write ports.
+    if (kind_ == GraphKind::kDfg) {
+      ensure_dfg_outputs();
+    }
+    out_.graph.finalize();
+    if (kind_ == GraphKind::kDfg) assign_dfg_clusters();
+  }
+
+  /// If the function never returned a value, expose every live scalar that
+  /// is not consumed by anything as a write port so the dataflow has sinks
+  /// (ldrgen programs print their liveout set; this models that).
+  void ensure_dfg_outputs() {
+    std::set<int> has_consumer;
+    for (const IrEdge& e : out_.graph.edges()) has_consumer.insert(e.src);
+    for (const auto& [name, v] : env_) {
+      if (has_consumer.count(v.node)) continue;
+      if (out_.graph.node(v.node).type == NodeGeneralType::kPort) continue;
+      const int port =
+          new_op(Opcode::kWritePort, v.bits, NodeGeneralType::kPort);
+      data_edge(v.node, port);
+      has_consumer.insert(v.node);
+    }
+  }
+
+  /// DFG cluster group: longest-path depth from any source (a deterministic
+  /// stand-in for the front end's operation clustering).
+  void assign_dfg_clusters() {
+    const auto order = out_.graph.topological_order();
+    std::vector<int> depth(static_cast<std::size_t>(out_.graph.num_nodes()),
+                           0);
+    for (int u : order) {
+      for (int v : out_.graph.forward_succ()[static_cast<std::size_t>(u)]) {
+        depth[static_cast<std::size_t>(v)] = std::max(
+            depth[static_cast<std::size_t>(v)],
+            depth[static_cast<std::size_t>(u)] + 1);
+      }
+    }
+    for (int i = 0; i < out_.graph.num_nodes(); ++i) {
+      out_.graph.mutable_node(i).cluster_group =
+          std::min(depth[static_cast<std::size_t>(i)], 256);
+    }
+  }
+
+  const Function& func_;
+  GraphKind kind_;
+  LoweredProgram out_;
+  int current_block_ = 0;
+  std::map<std::string, Value> env_;
+  std::map<std::string, ScalarType> declared_bits_;
+  std::map<std::string, ArrayInfo> arrays_;
+  std::map<std::pair<long, int>, int> const_cache_;
+};
+
+}  // namespace
+
+LoweredProgram lower_to_dfg(const Function& f) {
+  return Lowering(f, GraphKind::kDfg).run();
+}
+
+LoweredProgram lower_to_cdfg(const Function& f) {
+  return Lowering(f, GraphKind::kCdfg).run();
+}
+
+LoweredProgram lower(const Function& f) {
+  return f.has_control_flow() ? lower_to_cdfg(f) : lower_to_dfg(f);
+}
+
+}  // namespace gnnhls

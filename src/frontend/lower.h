@@ -1,0 +1,55 @@
+// Front-end lowering: mini-C AST -> IR graph (paper Fig. 1c).
+//
+// DFG extraction ("from basic blocks, a straight-line code sequence", §3.1):
+// the function body must be control-free; every expression becomes a small
+// dataflow DAG over operation/const/port nodes.
+//
+// CDFG extraction ("from programs with loops", §3.1): structured SSA
+// construction — one basic block node per block, phi nodes at loop headers
+// and if/else merges, control edges chaining block -> terminator -> successor
+// block, and back edges (both the control latch->header edge and the
+// loop-carried data edges into header phis) marked with the binary back-edge
+// feature.
+//
+// The lowering also records per-basic-block scheduling units (operation
+// lists, loop depth, estimated execution counts) consumed by the HLS
+// simulator.
+#pragma once
+
+#include <vector>
+
+#include "frontend/ast.h"
+#include "graph/ir_graph.h"
+
+namespace gnnhls {
+
+/// One scheduling unit for the HLS simulator.
+struct BasicBlockInfo {
+  int id = 0;
+  int block_node = -1;  // CDFG block node id; -1 in DFGs
+  std::vector<int> ops;  // operation node ids lowered into this block
+  int loop_depth = 0;
+  double exec_count = 1.0;  // product of enclosing loop trip counts
+  bool is_loop_header = false;
+};
+
+struct LoweredProgram {
+  IrGraph graph;
+  std::vector<BasicBlockInfo> blocks;
+
+  LoweredProgram(GraphKind kind, std::string name)
+      : graph(kind, std::move(name)) {}
+};
+
+/// Lowers a control-free function to a DFG. Throws if the function contains
+/// loops or branches.
+LoweredProgram lower_to_dfg(const Function& f);
+
+/// Lowers any function to a CDFG (works for control-free bodies too, then
+/// produces a single-block CDFG).
+LoweredProgram lower_to_cdfg(const Function& f);
+
+/// Dispatches on Function::has_control_flow().
+LoweredProgram lower(const Function& f);
+
+}  // namespace gnnhls

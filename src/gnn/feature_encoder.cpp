@@ -1,0 +1,113 @@
+#include "gnn/feature_encoder.h"
+
+#include <cmath>
+
+namespace gnnhls {
+
+namespace {
+
+// Base feature layout (offsets into the feature row).
+constexpr int kTypeOffset = 0;                                   // 5 one-hot
+constexpr int kOpcodeOffset = kTypeOffset + kNumNodeGeneralTypes;  // 32
+constexpr int kCategoryOffset = kOpcodeOffset + kNumOpcodes;       // 9
+constexpr int kBitwidthOffset = kCategoryOffset + kNumOpcodeCategories;  // 2
+constexpr int kStartOffset = kBitwidthOffset + 2;                  // 1
+constexpr int kClusterOffset = kStartOffset + 1;                   // 2
+constexpr int kConstOffset = kClusterOffset + 2;                   // 1
+constexpr int kBaseDim = kConstOffset + 1;
+// -I: three binary type bits. -R: the same three values in log scale plus
+// linearly scaled copies — sum pooling over the linear copies yields
+// resource totals directly, which is exactly the advantage intermediate HLS
+// results give the knowledge-rich approach.
+constexpr int kInfusedDim = 3;
+constexpr int kRichDim = 6;
+
+}  // namespace
+
+std::string approach_name(Approach a) {
+  switch (a) {
+    case Approach::kOffTheShelf: return "off-the-shelf";
+    case Approach::kKnowledgeInfused: return "knowledge-infused";
+    case Approach::kKnowledgeRich: return "knowledge-rich";
+  }
+  return {};
+}
+
+std::string approach_suffix(Approach a) {
+  switch (a) {
+    case Approach::kOffTheShelf: return "";
+    case Approach::kKnowledgeInfused: return "-I";
+    case Approach::kKnowledgeRich: return "-R";
+  }
+  return {};
+}
+
+int InputFeatureBuilder::feature_dim(Approach a) {
+  switch (a) {
+    case Approach::kOffTheShelf: return kBaseDim;
+    case Approach::kKnowledgeInfused: return kBaseDim + kInfusedDim;
+    case Approach::kKnowledgeRich: return kBaseDim + kRichDim;
+  }
+  return kBaseDim;
+}
+
+Matrix InputFeatureBuilder::build(const IrGraph& graph, Approach a,
+                                  const std::vector<InferredTypes>* inferred) {
+  GNNHLS_CHECK(inferred == nullptr || a == Approach::kKnowledgeInfused,
+               "inferred types are only meaningful for knowledge-infused");
+  if (inferred != nullptr) {
+    GNNHLS_CHECK_EQ(static_cast<int>(inferred->size()), graph.num_nodes(),
+                    "one inferred annotation per node required");
+  }
+  Matrix feats(graph.num_nodes(), feature_dim(a));
+  for (int i = 0; i < graph.num_nodes(); ++i) {
+    const IrNode& n = graph.node(i);
+    float* row = feats.row_ptr(i);
+    row[kTypeOffset + static_cast<int>(n.type)] = 1.0F;
+    row[kOpcodeOffset + static_cast<int>(n.opcode)] = 1.0F;
+    row[kCategoryOffset + static_cast<int>(category_of(n.opcode))] = 1.0F;
+    row[kBitwidthOffset] = static_cast<float>(n.bitwidth) / 256.0F;
+    row[kBitwidthOffset + 1] =
+        std::log2(static_cast<float>(n.bitwidth) + 1.0F) / 8.0F;
+    row[kStartOffset] = n.is_start_of_path ? 1.0F : 0.0F;
+    row[kClusterOffset] = static_cast<float>(std::max(n.cluster_group, 0)) /
+                          256.0F;
+    row[kClusterOffset + 1] =
+        static_cast<float>(std::min(std::max(n.cluster_group, 0), 16)) /
+        16.0F;
+    row[kConstOffset] = n.is_const ? 1.0F : 0.0F;
+
+    if (a == Approach::kKnowledgeInfused) {
+      if (inferred != nullptr) {
+        row[kBaseDim] = (*inferred)[static_cast<std::size_t>(i)].dsp;
+        row[kBaseDim + 1] = (*inferred)[static_cast<std::size_t>(i)].lut;
+        row[kBaseDim + 2] = (*inferred)[static_cast<std::size_t>(i)].ff;
+      } else {
+        row[kBaseDim] = n.resource.uses_dsp ? 1.0F : 0.0F;
+        row[kBaseDim + 1] = n.resource.uses_lut ? 1.0F : 0.0F;
+        row[kBaseDim + 2] = n.resource.uses_ff ? 1.0F : 0.0F;
+      }
+    } else if (a == Approach::kKnowledgeRich) {
+      row[kBaseDim] = std::log1p(n.resource.dsp) / 3.0F;
+      row[kBaseDim + 1] = std::log1p(n.resource.lut) / 6.0F;
+      row[kBaseDim + 2] = std::log1p(n.resource.ff) / 6.0F;
+      row[kBaseDim + 3] = n.resource.dsp / 4.0F;
+      row[kBaseDim + 4] = n.resource.lut / 64.0F;
+      row[kBaseDim + 5] = n.resource.ff / 64.0F;
+    }
+  }
+  return feats;
+}
+
+Matrix InputFeatureBuilder::node_type_labels(const IrGraph& graph) {
+  Matrix labels(graph.num_nodes(), 3);
+  for (int i = 0; i < graph.num_nodes(); ++i) {
+    const NodeResourceInfo& r = graph.node(i).resource;
+    labels(i, 0) = r.uses_dsp ? 1.0F : 0.0F;
+    labels(i, 1) = r.uses_lut ? 1.0F : 0.0F;
+    labels(i, 2) = r.uses_ff ? 1.0F : 0.0F;
+  }
+  return labels;
+}
+
+}  // namespace gnnhls

@@ -1,0 +1,60 @@
+// Input feature construction — the three approaches' feature sets (paper
+// Table 1).
+//
+// The off-the-shelf approach sees only what the HLS front end emits: node
+// type, bitwidth, opcode category, opcode, is-start-of-path, cluster group
+// (+ const flag). The knowledge-infused approach appends the three binary
+// resource-type bits (ground truth at training time, classifier output at
+// inference time); the knowledge-rich approach appends the per-node resource
+// *values* from intermediate HLS results.
+//
+// Categorical features are expanded one-hot; the encoder's input projection
+// then learns the embedding (mathematically the summed-embedding layout the
+// paper describes).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/ir_graph.h"
+#include "tensor/matrix.h"
+
+namespace gnnhls {
+
+enum class Approach : int {
+  kOffTheShelf = 0,   // table row "RGCN" / "PNA"
+  kKnowledgeInfused,  // table row "-I"
+  kKnowledgeRich,     // table row "-R"
+};
+
+std::string approach_name(Approach a);
+/// Paper-table suffix: "", "-I", "-R".
+std::string approach_suffix(Approach a);
+
+/// Self-inferred resource-type annotation used by the knowledge-infused
+/// approach at inference time (one per node; values in [0,1]).
+struct InferredTypes {
+  float dsp = 0.0F;
+  float lut = 0.0F;
+  float ff = 0.0F;
+};
+
+class InputFeatureBuilder {
+ public:
+  /// Width of the feature vector for an approach.
+  static int feature_dim(Approach a);
+
+  /// Builds [num_nodes, feature_dim] input features.
+  /// For kKnowledgeInfused: if `inferred` is provided it replaces the
+  /// ground-truth type bits (hierarchical inference); otherwise ground truth
+  /// from graph annotations is used (hierarchical training).
+  static Matrix build(const IrGraph& graph, Approach a,
+                      const std::vector<InferredTypes>* inferred = nullptr);
+
+  /// Node-level classification labels: [num_nodes, 3] binary matrix in the
+  /// order DSP, LUT, FF (the paper's three binary tasks).
+  static Matrix node_type_labels(const IrGraph& graph);
+};
+
+}  // namespace gnnhls

@@ -1,0 +1,60 @@
+#include "gnn/graph_tensors.h"
+
+#include <cmath>
+
+namespace gnnhls {
+
+GraphTensors GraphTensors::build(const IrGraph& graph) {
+  GNNHLS_CHECK(graph.finalized(), "GraphTensors: graph not finalized");
+  GraphTensors gt;
+  gt.num_nodes = graph.num_nodes();
+  gt.src = graph.edge_src();
+  gt.dst = graph.edge_dst();
+
+  gt.src_self = gt.src;
+  gt.dst_self = gt.dst;
+  gt.src_self.reserve(gt.src.size() + static_cast<std::size_t>(gt.num_nodes));
+  gt.dst_self.reserve(gt.dst.size() + static_cast<std::size_t>(gt.num_nodes));
+  for (int i = 0; i < gt.num_nodes; ++i) {
+    gt.src_self.push_back(i);
+    gt.dst_self.push_back(i);
+  }
+
+  const auto& in_deg = graph.in_degree();
+  gt.gcn_coeff.reserve(gt.src.size());
+  for (std::size_t e = 0; e < gt.src.size(); ++e) {
+    const float ds = std::sqrt(
+        static_cast<float>(in_deg[static_cast<std::size_t>(gt.src[e])] + 1));
+    const float dd = std::sqrt(
+        static_cast<float>(in_deg[static_cast<std::size_t>(gt.dst[e])] + 1));
+    gt.gcn_coeff.push_back(1.0F / (ds * dd));
+  }
+  gt.gcn_self_coeff.reserve(static_cast<std::size_t>(gt.num_nodes));
+  for (int i = 0; i < gt.num_nodes; ++i) {
+    gt.gcn_self_coeff.push_back(
+        1.0F / static_cast<float>(in_deg[static_cast<std::size_t>(i)] + 1));
+  }
+
+  gt.relation_edges.assign(kNumEdgeRelations, {});
+  const auto& rel = graph.edge_relation();
+  for (std::size_t e = 0; e < rel.size(); ++e) {
+    gt.relation_edges[static_cast<std::size_t>(rel[e])].push_back(
+        static_cast<int>(e));
+  }
+
+  gt.log_deg.reserve(static_cast<std::size_t>(gt.num_nodes));
+  float sum = 0.0F;
+  for (int i = 0; i < gt.num_nodes; ++i) {
+    const float l = std::log1p(
+        static_cast<float>(in_deg[static_cast<std::size_t>(i)]));
+    gt.log_deg.push_back(l);
+    sum += l;
+  }
+  gt.avg_log_deg =
+      gt.num_nodes > 0 ? std::max(sum / static_cast<float>(gt.num_nodes),
+                                  0.1F)
+                       : 1.0F;
+  return gt;
+}
+
+}  // namespace gnnhls

@@ -1,0 +1,40 @@
+// Precomputed message-passing views of a finalized IrGraph.
+//
+// Built once per graph and shared by all encoders: flat edge arrays, edge
+// arrays augmented with self loops (GAT/GCN-style layers), symmetric GCN
+// normalization coefficients, per-relation edge partitions (RGCN / GGNN /
+// FiLM) and the degree scalers used by PNA.
+#pragma once
+
+#include <vector>
+
+#include "graph/ir_graph.h"
+
+namespace gnnhls {
+
+struct GraphTensors {
+  int num_nodes = 0;
+
+  // plain directed edges
+  std::vector<int> src, dst;
+
+  // edges + one self loop per node (for attention/convolution layers that
+  // need a node to see itself)
+  std::vector<int> src_self, dst_self;
+
+  // GCN symmetric normalization: coeff per plain edge, self-loop coeff per
+  // node, using deg(v) = in_degree(v) + 1.
+  std::vector<float> gcn_coeff;
+  std::vector<float> gcn_self_coeff;
+
+  // edge ids grouped by relation (edge type x back-edge flag)
+  std::vector<std::vector<int>> relation_edges;
+
+  // PNA degree scalers: log(in_degree + 1) per node and its graph average.
+  std::vector<float> log_deg;
+  float avg_log_deg = 1.0F;
+
+  static GraphTensors build(const IrGraph& graph);
+};
+
+}  // namespace gnnhls

@@ -1,0 +1,66 @@
+// Task models over the encoders.
+//
+// GraphRegressor — graph-level regression (paper §3.1): encoder, sum/mean
+// pooling, then the paper's feed-forward head (hidden - 2*hidden - hidden -
+// 1).
+//
+// NodeClassifier — node-level classification: encoder plus a 3-logit head
+// (three binary tasks: does the node use DSP / LUT / FF).
+#pragma once
+
+#include <memory>
+
+#include "gnn/encoders.h"
+#include "gnn/feature_encoder.h"
+
+namespace gnnhls {
+
+enum class Pooling { kSum, kMean };
+
+struct ModelConfig {
+  GnnKind kind = GnnKind::kRgcn;
+  int hidden = 64;
+  int layers = 3;       // paper: 5
+  float dropout = 0.0F;
+  Pooling pooling = Pooling::kSum;
+};
+
+class GraphRegressor : public Module {
+ public:
+  GraphRegressor(ModelConfig cfg, int in_dim, Rng& rng);
+
+  /// Scalar prediction [1,1] in *encoded target space* (see dataset
+  /// target_transform): the trainer decodes it back to a QoR value.
+  Var forward(Tape& tape, const GraphTensors& gt, const Matrix& features,
+              Rng& rng, bool training) const;
+
+  /// Convenience inference (no-grad usage; still builds a throwaway tape).
+  float predict(const GraphTensors& gt, const Matrix& features) const;
+
+  const ModelConfig& model_config() const { return cfg_; }
+
+ private:
+  ModelConfig cfg_;
+  std::unique_ptr<GnnEncoder> encoder_;
+  std::unique_ptr<Mlp> head_;
+};
+
+class NodeClassifier : public Module {
+ public:
+  NodeClassifier(ModelConfig cfg, int in_dim, Rng& rng);
+
+  /// Logits [N,3] in the order DSP, LUT, FF.
+  Var forward(Tape& tape, const GraphTensors& gt, const Matrix& features,
+              Rng& rng, bool training) const;
+
+  /// Hard type predictions used as self-inferred knowledge (threshold 0.5).
+  std::vector<InferredTypes> infer_types(const GraphTensors& gt,
+                                         const Matrix& features) const;
+
+ private:
+  ModelConfig cfg_;
+  std::unique_ptr<GnnEncoder> encoder_;
+  std::unique_ptr<Linear> head_;
+};
+
+}  // namespace gnnhls

@@ -1,0 +1,45 @@
+#include "graph/dot_export.h"
+
+#include <sstream>
+
+namespace gnnhls {
+
+namespace {
+
+const char* fill_color(const IrNode& n) {
+  if (n.resource.uses_dsp) return "lightsalmon";     // DSP
+  if (n.resource.uses_ff && !n.resource.uses_lut) return "lightskyblue";
+  if (n.resource.uses_lut) return "palegreen";
+  return "white";  // control / const / free logic
+}
+
+const char* edge_style(const IrEdge& e) {
+  switch (e.type) {
+    case EdgeType::kControl: return "dashed";
+    case EdgeType::kMemory: return "dotted";
+    default: return "solid";
+  }
+}
+
+}  // namespace
+
+std::string to_dot(const IrGraph& graph) {
+  std::ostringstream os;
+  os << "digraph \"" << (graph.name().empty() ? "ir" : graph.name())
+     << "\" {\n  rankdir=TB;\n  node [shape=box, style=filled];\n";
+  for (int i = 0; i < graph.num_nodes(); ++i) {
+    const IrNode& n = graph.node(i);
+    os << "  n" << i << " [label=\"" << opcode_name(n.opcode) << ':'
+       << n.bitwidth << "\", fillcolor=" << fill_color(n) << "];\n";
+  }
+  for (const IrEdge& e : graph.edges()) {
+    os << "  n" << e.src << " -> n" << e.dst
+       << " [style=" << edge_style(e);
+    if (e.is_back_edge) os << ", color=red, constraint=false";
+    os << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace gnnhls

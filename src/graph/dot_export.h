@@ -1,0 +1,16 @@
+// Graphviz DOT export for IR graphs (debugging / paper-figure style
+// visualization of the Fig. 1c graphs).
+#pragma once
+
+#include <string>
+
+#include "graph/ir_graph.h"
+
+namespace gnnhls {
+
+/// Renders the graph in DOT: nodes labeled "opcode:bitwidth" and colored by
+/// resource type (DSP/LUT/FF usage), data edges solid, control edges dashed,
+/// memory edges dotted, back edges in red.
+std::string to_dot(const IrGraph& graph);
+
+}  // namespace gnnhls

@@ -1,0 +1,120 @@
+#include "graph/ir_graph.h"
+
+#include <algorithm>
+
+namespace gnnhls {
+
+int IrGraph::add_node(IrNode node) {
+  GNNHLS_CHECK(!finalized_, "add_node after finalize()");
+  GNNHLS_CHECK(node.bitwidth >= 0 && node.bitwidth <= 256,
+               "bitwidth out of [0,256]");
+  nodes_.push_back(node);
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+void IrGraph::add_edge(int src, int dst, EdgeType type, bool is_back_edge) {
+  GNNHLS_CHECK(!finalized_, "add_edge after finalize()");
+  GNNHLS_CHECK(src >= 0 && src < num_nodes(), "edge src out of range");
+  GNNHLS_CHECK(dst >= 0 && dst < num_nodes(), "edge dst out of range");
+  GNNHLS_CHECK(src != dst || is_back_edge,
+               "self loop only allowed as back edge");
+  if (kind_ == GraphKind::kDfg) {
+    GNNHLS_CHECK(!is_back_edge, "DFGs cannot contain back edges");
+    GNNHLS_CHECK(type != EdgeType::kControl,
+                 "DFGs cannot contain control edges");
+  }
+  edges_.push_back(IrEdge{src, dst, type, is_back_edge});
+}
+
+void IrGraph::finalize() {
+  GNNHLS_CHECK(!finalized_, "finalize called twice");
+  GNNHLS_CHECK(num_nodes() > 0, "graph has no nodes");
+
+  const std::size_t n = nodes_.size();
+  edge_src_.reserve(edges_.size());
+  edge_dst_.reserve(edges_.size());
+  edge_relation_.reserve(edges_.size());
+  in_degree_.assign(n, 0);
+  out_degree_.assign(n, 0);
+  forward_succ_.assign(n, {});
+  forward_pred_.assign(n, {});
+
+  for (const IrEdge& e : edges_) {
+    edge_src_.push_back(e.src);
+    edge_dst_.push_back(e.dst);
+    edge_relation_.push_back(static_cast<int>(e.type) * 2 +
+                             (e.is_back_edge ? 1 : 0));
+    out_degree_[static_cast<std::size_t>(e.src)]++;
+    in_degree_[static_cast<std::size_t>(e.dst)]++;
+    if (!e.is_back_edge) {
+      forward_succ_[static_cast<std::size_t>(e.src)].push_back(e.dst);
+      forward_pred_[static_cast<std::size_t>(e.dst)].push_back(e.src);
+    }
+  }
+
+  // "Is start of path": node with no incoming non-back edge (paper Table 1:
+  // "whether the node is the starting node of a path").
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes_[i].is_start_of_path = forward_pred_[i].empty();
+  }
+
+  finalized_ = true;
+  GNNHLS_CHECK(forward_edges_acyclic(),
+               "forward edges form a cycle (missing back-edge mark?)");
+}
+
+bool IrGraph::forward_edges_acyclic() const {
+  // Kahn's algorithm over forward edges.
+  const std::size_t n = nodes_.size();
+  std::vector<int> indeg(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int s : forward_succ_[i]) indeg[static_cast<std::size_t>(s)]++;
+  }
+  std::vector<int> queue;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (indeg[i] == 0) queue.push_back(static_cast<int>(i));
+  }
+  std::size_t seen = 0;
+  while (!queue.empty()) {
+    const int u = queue.back();
+    queue.pop_back();
+    ++seen;
+    for (int s : forward_succ_[static_cast<std::size_t>(u)]) {
+      if (--indeg[static_cast<std::size_t>(s)] == 0) queue.push_back(s);
+    }
+  }
+  return seen == n;
+}
+
+std::vector<int> IrGraph::topological_order() const {
+  GNNHLS_CHECK(finalized_, "topological_order before finalize()");
+  const std::size_t n = nodes_.size();
+  std::vector<int> indeg(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int s : forward_succ_[i]) indeg[static_cast<std::size_t>(s)]++;
+  }
+  std::vector<int> order;
+  order.reserve(n);
+  std::vector<int> queue;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (indeg[i] == 0) queue.push_back(static_cast<int>(i));
+  }
+  while (!queue.empty()) {
+    const int u = queue.back();
+    queue.pop_back();
+    order.push_back(u);
+    for (int s : forward_succ_[static_cast<std::size_t>(u)]) {
+      if (--indeg[static_cast<std::size_t>(s)] == 0) queue.push_back(s);
+    }
+  }
+  GNNHLS_CHECK_EQ(order.size(), n, "graph has a forward cycle");
+  return order;
+}
+
+int IrGraph::count_back_edges() const {
+  return static_cast<int>(
+      std::count_if(edges_.begin(), edges_.end(),
+                    [](const IrEdge& e) { return e.is_back_edge; }));
+}
+
+}  // namespace gnnhls

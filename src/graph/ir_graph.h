@@ -1,0 +1,145 @@
+// IR graph representation — the predictor input (paper §3.1).
+//
+// A DFG is extracted from a basic block (directed acyclic); a CDFG adds
+// control nodes, control-dependency edges and back edges for loops. Node and
+// edge features follow paper Table 1:
+//
+//   node:  general type, bitwidth, opcode category, opcode, is-start-of-path,
+//          cluster group (+ const flag — the text says seven features while
+//          the table lists six; we surface the constant/operand distinction
+//          as the seventh, matching the Vitis IR dump),
+//   edge:  discrete edge type (integer) and a binary back-edge mark.
+//
+// Knowledge features (per-node resource type bits and values) are filled in
+// by the HLS simulator after binding and consumed only by the -R and -I
+// approaches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/opcodes.h"
+#include "support/check.h"
+
+namespace gnnhls {
+
+enum class GraphKind { kDfg, kCdfg };
+
+enum class NodeGeneralType : int {
+  kOperation = 0,
+  kBlockNode,
+  kPort,
+  kConstant,
+  kMisc,
+  kCount
+};
+inline constexpr int kNumNodeGeneralTypes =
+    static_cast<int>(NodeGeneralType::kCount);
+
+enum class EdgeType : int { kData = 0, kControl, kMemory, kCall, kCount };
+inline constexpr int kNumEdgeTypes = static_cast<int>(EdgeType::kCount);
+
+/// Relation id used by relational GNNs (RGCN/GGNN/FiLM):
+/// edge type × back-edge flag.
+inline constexpr int kNumEdgeRelations = kNumEdgeTypes * 2;
+
+/// Per-node resource annotation produced by HLS binding. `uses_*` are the
+/// node-level classification labels; the value fields feed the
+/// knowledge-rich approach.
+struct NodeResourceInfo {
+  bool uses_dsp = false;
+  bool uses_lut = false;
+  bool uses_ff = false;
+  float dsp = 0.0F;
+  float lut = 0.0F;
+  float ff = 0.0F;
+};
+
+struct IrNode {
+  NodeGeneralType type = NodeGeneralType::kOperation;
+  Opcode opcode = Opcode::kAdd;
+  int bitwidth = 32;              // 0..256
+  bool is_start_of_path = false;  // computed on finalize(): no data preds
+  int cluster_group = -1;         // basic-block / cluster id, -1 if none
+  bool is_const = false;          // the "seventh" feature (see header)
+  NodeResourceInfo resource;      // filled by the HLS simulator
+};
+
+struct IrEdge {
+  int src = 0;
+  int dst = 0;
+  EdgeType type = EdgeType::kData;
+  bool is_back_edge = false;
+};
+
+/// Ground-truth, post-implementation quality of result for a whole graph
+/// (the graph-level regression labels: paper §3.1 "DSP, FF, LUT, CP").
+struct QualityOfResult {
+  double dsp = 0.0;
+  double lut = 0.0;
+  double ff = 0.0;
+  double cp_ns = 0.0;  // critical-path timing
+};
+
+class IrGraph {
+ public:
+  explicit IrGraph(GraphKind kind, std::string name = "")
+      : kind_(kind), name_(std::move(name)) {}
+
+  GraphKind kind() const { return kind_; }
+  const std::string& name() const { return name_; }
+
+  int add_node(IrNode node);
+  void add_edge(int src, int dst, EdgeType type, bool is_back_edge = false);
+
+  /// Validates indices, computes is_start_of_path and adjacency caches.
+  /// Must be called once after construction; add_* afterwards throws.
+  void finalize();
+  bool finalized() const { return finalized_; }
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+  const IrNode& node(int i) const { return nodes_[static_cast<std::size_t>(i)]; }
+  IrNode& mutable_node(int i) { return nodes_[static_cast<std::size_t>(i)]; }
+  const std::vector<IrNode>& nodes() const { return nodes_; }
+  const IrEdge& edge(int i) const { return edges_[static_cast<std::size_t>(i)]; }
+  const std::vector<IrEdge>& edges() const { return edges_; }
+
+  // Flat edge arrays for GNN message passing (valid after finalize()).
+  const std::vector<int>& edge_src() const { return edge_src_; }
+  const std::vector<int>& edge_dst() const { return edge_dst_; }
+  /// Relation id per edge: type * 2 + is_back_edge.
+  const std::vector<int>& edge_relation() const { return edge_relation_; }
+  const std::vector<int>& in_degree() const { return in_degree_; }
+  const std::vector<int>& out_degree() const { return out_degree_; }
+
+  /// Successor node ids along non-back data edges (for schedulers).
+  const std::vector<std::vector<int>>& forward_succ() const {
+    return forward_succ_;
+  }
+  const std::vector<std::vector<int>>& forward_pred() const {
+    return forward_pred_;
+  }
+
+  /// True iff the graph ignoring back edges is acyclic (always true for a
+  /// well-formed graph; DFGs must additionally have zero back edges).
+  bool forward_edges_acyclic() const;
+
+  /// Topological order of nodes over forward edges. Throws if cyclic.
+  std::vector<int> topological_order() const;
+
+  int count_back_edges() const;
+
+ private:
+  GraphKind kind_;
+  std::string name_;
+  std::vector<IrNode> nodes_;
+  std::vector<IrEdge> edges_;
+  bool finalized_ = false;
+
+  std::vector<int> edge_src_, edge_dst_, edge_relation_;
+  std::vector<int> in_degree_, out_degree_;
+  std::vector<std::vector<int>> forward_succ_, forward_pred_;
+};
+
+}  // namespace gnnhls

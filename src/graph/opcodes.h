@@ -1,0 +1,152 @@
+// Opcode vocabulary for IR graphs.
+//
+// Mirrors the LLVM-flavoured node opcodes that Vitis HLS exposes in its IR
+// dumps (paper Table 1: "Opcode of the node — load, add, mux, xor, icmp...").
+// Each opcode belongs to an opcode category ("Opcode categories based on
+// LLVM — binary_unary, bitwise, memory, etc."), which is itself a node
+// feature.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace gnnhls {
+
+enum class Opcode : int {
+  // arithmetic (binary_unary)
+  kAdd = 0,
+  kSub,
+  kMul,
+  kSDiv,
+  kUDiv,
+  kSRem,
+  // bitwise
+  kAnd,
+  kOr,
+  kXor,
+  kShl,
+  kLShr,
+  kAShr,
+  // comparison
+  kICmp,
+  // selection
+  kSelect,
+  kMux,
+  kPhi,
+  // memory
+  kLoad,
+  kStore,
+  kAlloca,
+  kGetElementPtr,
+  // casts / bit manipulation
+  kZExt,
+  kSExt,
+  kTrunc,
+  kPartSelect,
+  kBitConcat,
+  // control
+  kBr,
+  kRet,
+  kCall,
+  // non-operation nodes
+  kConst,
+  kReadPort,
+  kWritePort,
+  kBlock,
+  kCount  // sentinel
+};
+
+inline constexpr int kNumOpcodes = static_cast<int>(Opcode::kCount);
+
+enum class OpcodeCategory : int {
+  kBinaryUnary = 0,
+  kBitwise,
+  kComparison,
+  kSelection,
+  kMemory,
+  kCast,
+  kControl,
+  kConstPort,
+  kBlockCat,
+  kCount
+};
+
+inline constexpr int kNumOpcodeCategories =
+    static_cast<int>(OpcodeCategory::kCount);
+
+constexpr OpcodeCategory category_of(Opcode op) {
+  switch (op) {
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kSDiv:
+    case Opcode::kUDiv:
+    case Opcode::kSRem:
+      return OpcodeCategory::kBinaryUnary;
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kShl:
+    case Opcode::kLShr:
+    case Opcode::kAShr:
+      return OpcodeCategory::kBitwise;
+    case Opcode::kICmp:
+      return OpcodeCategory::kComparison;
+    case Opcode::kSelect:
+    case Opcode::kMux:
+    case Opcode::kPhi:
+      return OpcodeCategory::kSelection;
+    case Opcode::kLoad:
+    case Opcode::kStore:
+    case Opcode::kAlloca:
+    case Opcode::kGetElementPtr:
+      return OpcodeCategory::kMemory;
+    case Opcode::kZExt:
+    case Opcode::kSExt:
+    case Opcode::kTrunc:
+    case Opcode::kPartSelect:
+    case Opcode::kBitConcat:
+      return OpcodeCategory::kCast;
+    case Opcode::kBr:
+    case Opcode::kRet:
+    case Opcode::kCall:
+      return OpcodeCategory::kControl;
+    case Opcode::kConst:
+    case Opcode::kReadPort:
+    case Opcode::kWritePort:
+      return OpcodeCategory::kConstPort;
+    case Opcode::kBlock:
+    case Opcode::kCount:
+      return OpcodeCategory::kBlockCat;
+  }
+  return OpcodeCategory::kBlockCat;
+}
+
+constexpr std::string_view opcode_name(Opcode op) {
+  constexpr std::array<std::string_view, kNumOpcodes> names = {
+      "add",  "sub",   "mul",   "sdiv",  "udiv",       "srem",  "and",
+      "or",   "xor",   "shl",   "lshr",  "ashr",       "icmp",  "select",
+      "mux",  "phi",   "load",  "store", "alloca",     "gep",   "zext",
+      "sext", "trunc", "partselect",     "bitconcat",  "br",    "ret",
+      "call", "const", "read_port",      "write_port", "block"};
+  return names[static_cast<std::size_t>(op)];
+}
+
+/// True for opcodes that map to datapath hardware (candidates for
+/// DSP/LUT/FF resources); control/const/block nodes use nothing by
+/// themselves.
+constexpr bool is_datapath_op(Opcode op) {
+  switch (category_of(op)) {
+    case OpcodeCategory::kBinaryUnary:
+    case OpcodeCategory::kBitwise:
+    case OpcodeCategory::kComparison:
+    case OpcodeCategory::kSelection:
+    case OpcodeCategory::kMemory:
+    case OpcodeCategory::kCast:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace gnnhls

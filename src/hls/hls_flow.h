@@ -1,0 +1,46 @@
+// Binding, implementation and report estimation — the back half of the HLS
+// simulator.
+//
+// `run_hls_flow` is the stand-in for "synthesized by Vitis HLS and
+// implemented by Vitis" (paper §5.1). It produces:
+//
+//   * `implemented` — the ground-truth QoR labels (DSP/LUT/FF/CP after
+//     binding with functional-unit sharing, FSM/control overhead, glue
+//     logic, and a utilization/fanout-aware routing-delay model), and
+//   * `reported` — the *pre-implementation estimate* an HLS synthesis
+//     report would print. Like the real tool it ignores cross-state
+//     sharing and post-synthesis optimization and assumes timing will
+//     close near the clock target, so it is systematically wrong in the
+//     same directions the paper measures (Table 5 "HLS" column: LUT/FF
+//     grossly overestimated, CP optimistic).
+//
+// It also writes per-node resource annotations (type bits + attributed
+// values) into the graph — the "auxiliary information from intermediate HLS
+// results" consumed by the knowledge-rich approach and used as node-level
+// labels by the knowledge-infused approach.
+#pragma once
+
+#include "frontend/lower.h"
+#include "hls/scheduler.h"
+
+namespace gnnhls {
+
+struct BindingStats {
+  int sharable_ops = 0;
+  int fu_instances = 0;
+  double mux_lut = 0.0;
+};
+
+struct HlsOutcome {
+  QualityOfResult implemented;
+  QualityOfResult reported;
+  ProgramSchedule schedule;
+  BindingStats binding;
+  double latency_cycles = 0.0;
+};
+
+/// Runs scheduling + binding + implementation + report estimation and
+/// annotates every node of prog.graph with its resource types/values.
+HlsOutcome run_hls_flow(LoweredProgram& prog, const HlsConfig& cfg = {});
+
+}  // namespace gnnhls

@@ -1,0 +1,139 @@
+#include "hls/resource_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gnnhls {
+
+namespace {
+
+double ceil_div(int a, int b) {
+  return static_cast<double>((a + b - 1) / b);
+}
+
+double log2_plus1(double x) { return std::log2(1.0 + x); }
+
+}  // namespace
+
+OpCost ResourceLibrary::cost(Opcode op, int bitwidth, bool const_shift,
+                             int phi_fanin) const {
+  const int w = std::clamp(bitwidth, 1, 256);
+  const double dw = static_cast<double>(w);
+  OpCost c;
+  switch (op) {
+    case Opcode::kAdd:
+    case Opcode::kSub:
+      c.lut = dw;
+      c.delay_ns = 0.9 + 0.035 * dw;
+      break;
+    case Opcode::kMul:
+      if (w <= kLutMulMaxWidth) {
+        c.lut = 0.5 * dw * dw;
+        c.delay_ns = 1.6 + 0.09 * dw;
+      } else {
+        // DSP48-style 17x25 tiles.
+        c.dsp = ceil_div(w, 17) * ceil_div(w, 25);
+        c.lut = 0.2 * dw;  // tile-stitch glue
+        c.delay_ns = 2.6 + 0.015 * dw;
+        c.latency = w >= 33 ? 3 : (w >= 18 ? 2 : 1);
+        c.sharable = true;
+      }
+      break;
+    case Opcode::kSDiv:
+    case Opcode::kUDiv:
+    case Opcode::kSRem:
+      // Iterative restoring divider: LUT-hungry with per-iteration state.
+      c.lut = 4.0 * dw + 0.05 * dw * dw;
+      c.ff = 2.0 * dw;
+      c.delay_ns = 1.9 + 0.045 * dw;
+      c.latency = w + 3;
+      c.sharable = true;
+      break;
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+      c.lut = std::ceil(dw / 2.0);
+      c.delay_ns = 0.45 + 0.008 * dw;
+      break;
+    case Opcode::kShl:
+    case Opcode::kLShr:
+    case Opcode::kAShr:
+      if (const_shift) {
+        // Constant shift amount is pure rewiring.
+        c.delay_ns = 0.05;
+      } else {
+        c.lut = dw * 0.5 * log2_plus1(dw);
+        c.delay_ns = 1.0 + 0.028 * dw;
+      }
+      break;
+    case Opcode::kICmp:
+      c.lut = std::ceil(dw / 2.0) + 1.0;
+      c.delay_ns = 0.8 + 0.018 * dw;
+      break;
+    case Opcode::kSelect:
+    case Opcode::kMux:
+      c.lut = dw;
+      c.delay_ns = 0.6 + 0.01 * dw;
+      break;
+    case Opcode::kPhi:
+      // FSM-steered mux; loop-header phis are additionally registered by
+      // the scheduler when their value crosses a state boundary.
+      c.lut = dw * std::max(phi_fanin - 1, 1) * 0.5;
+      c.delay_ns = 0.55 + 0.008 * dw;
+      break;
+    case Opcode::kLoad:
+      c.lut = 6.0 + 0.25 * dw;  // RAM interface glue
+      c.ff = dw;                // registered read data
+      c.delay_ns = 2.1;
+      c.latency = 1;
+      break;
+    case Opcode::kStore:
+      c.lut = 4.0 + 0.2 * dw;
+      c.ff = 0.5 * dw;  // write address/data staging
+      c.delay_ns = 1.5;
+      c.latency = 1;
+      break;
+    case Opcode::kAlloca:
+      // Local array storage: modeled as distributed LUTRAM + init logic.
+      c.lut = 2.0 + 0.5 * dw;
+      c.ff = 2.0;
+      c.delay_ns = 0.0;
+      break;
+    case Opcode::kGetElementPtr:
+      c.lut = 4.0 + 0.15 * dw;
+      c.delay_ns = 0.7;
+      break;
+    case Opcode::kZExt:
+    case Opcode::kSExt:
+    case Opcode::kTrunc:
+    case Opcode::kPartSelect:
+    case Opcode::kBitConcat:
+      c.delay_ns = 0.05;  // wiring only
+      break;
+    case Opcode::kBr:
+      c.lut = 1.0;  // next-state steering
+      c.delay_ns = 0.3;
+      break;
+    case Opcode::kRet:
+    case Opcode::kCall:
+    case Opcode::kConst:
+    case Opcode::kBlock:
+      break;
+    case Opcode::kReadPort:
+    case Opcode::kWritePort:
+      c.ff = dw;  // registered I/O
+      c.delay_ns = 0.2;
+      break;
+    case Opcode::kCount:
+      GNNHLS_CHECK(false, "cost() on sentinel opcode");
+  }
+  return c;
+}
+
+double ResourceLibrary::sharing_mux_lut(int bits, int sources) const {
+  if (sources <= 1) return 0.0;
+  return static_cast<double>(bits) * 0.5 *
+         std::ceil(std::log2(static_cast<double>(sources)));
+}
+
+}  // namespace gnnhls

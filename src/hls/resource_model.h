@@ -1,0 +1,55 @@
+// Operation-level FPGA resource & delay library.
+//
+// Plays the role of the technology characterization inside an HLS tool:
+// maps (opcode, bitwidth, operand shape) to DSP/LUT/FF cost, combinational
+// delay and pipeline latency for a generic 6-LUT + DSP48-style fabric.
+//
+// The constants are deliberately *compositional* rather than tabulated per
+// program: wide multipliers tile into DSP blocks, divisions expand into
+// LUT-heavy iterative arrays, constant shift amounts become free rewiring,
+// phi/select fan-in buys muxes. These are exactly the "sophisticated mapping
+// rules from heterogeneous nodes to resource usage" (paper §5.2) that the
+// GNN has to learn, and they give each domain insight from the paper a
+// concrete mechanism:
+//   * "a multiplication node with a large bitwidth tends to use DSPs,
+//      while divisions and bitwise operations prefer LUTs"
+//   * "FFs often relate to memory operations and small arrays"
+//   * "LUTs are involved in the entire graph (glue logic)".
+#pragma once
+
+#include "graph/ir_graph.h"
+
+namespace gnnhls {
+
+/// Cost of one operator instance.
+struct OpCost {
+  double dsp = 0.0;
+  double lut = 0.0;
+  double ff = 0.0;
+  double delay_ns = 0.0;   // combinational delay (per stage if multi-cycle)
+  int latency = 0;         // extra pipeline cycles (0 = combinational)
+  bool sharable = false;   // expensive enough for the binder to share
+};
+
+/// Width below which a multiplier is built from LUTs instead of DSP blocks
+/// (Vitis' default threshold is comparable).
+inline constexpr int kLutMulMaxWidth = 10;
+
+class ResourceLibrary {
+ public:
+  /// Cost of an operation node.
+  /// `const_shift` marks shift nodes whose amount operand is constant
+  /// (free rewiring); `phi_fanin` is the number of incoming values of a
+  /// phi/mux node.
+  OpCost cost(Opcode op, int bitwidth, bool const_shift = false,
+              int phi_fanin = 2) const;
+
+  /// FFs for registering a `bits`-wide value across a cycle boundary.
+  double register_ff(int bits) const { return static_cast<double>(bits); }
+
+  /// Mux LUTs for routing `sources` operands of width `bits` into one
+  /// shared functional-unit port (2:1 mux tree, ~bits/2 LUT6 per stage).
+  double sharing_mux_lut(int bits, int sources) const;
+};
+
+}  // namespace gnnhls

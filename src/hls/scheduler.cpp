@@ -1,0 +1,173 @@
+#include "hls/scheduler.h"
+
+#include <algorithm>
+#include <map>
+
+namespace gnnhls {
+
+bool has_constant_shift_amount(const IrGraph& graph, int node) {
+  const Opcode op = graph.node(node).opcode;
+  if (op != Opcode::kShl && op != Opcode::kLShr && op != Opcode::kAShr) {
+    return false;
+  }
+  // The shift amount is the second data operand; we accept "any operand is
+  // a constant" since operand order is not tracked separately.
+  for (const IrEdge& e : graph.edges()) {
+    if (e.dst == node && e.type == EdgeType::kData &&
+        graph.node(e.src).type == NodeGeneralType::kConstant) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int data_fanin(const IrGraph& graph, int node) {
+  int n = 0;
+  for (const IrEdge& e : graph.edges()) {
+    if (e.dst == node && e.type == EdgeType::kData) ++n;
+  }
+  return n;
+}
+
+namespace {
+
+struct Avail {
+  int cycle = 0;
+  double ns = 0.0;
+};
+
+}  // namespace
+
+ProgramSchedule schedule_program(const LoweredProgram& prog,
+                                 const ResourceLibrary& lib,
+                                 const HlsConfig& cfg) {
+  const IrGraph& g = prog.graph;
+  GNNHLS_CHECK(g.finalized(), "schedule_program: graph not finalized");
+  const double budget = cfg.clock_ns * (1.0 - cfg.clock_uncertainty);
+  GNNHLS_CHECK(budget > 0.0, "schedule_program: empty clock budget");
+
+  // Scheduling dependencies: incoming data/memory edges, forward only.
+  std::vector<std::vector<int>> preds(static_cast<std::size_t>(g.num_nodes()));
+  for (const IrEdge& e : g.edges()) {
+    if (e.is_back_edge) continue;
+    if (e.type == EdgeType::kData || e.type == EdgeType::kMemory) {
+      preds[static_cast<std::size_t>(e.dst)].push_back(e.src);
+    }
+  }
+
+  ProgramSchedule ps;
+  ps.blocks.reserve(prog.blocks.size());
+
+  std::map<int, Avail> avail;        // node -> availability in *its* block
+  std::map<int, int> block_of_node;  // scheduled datapath node -> block id
+  std::map<int, const OpSchedule*> sched_of_node;
+
+  for (const BasicBlockInfo& bb : prog.blocks) {
+    BlockSchedule bs;
+    bs.block_id = bb.id;
+    bs.ops.reserve(bb.ops.size());
+
+    for (int node : bb.ops) {
+      const IrNode& n = g.node(node);
+      const OpCost c =
+          lib.cost(n.opcode, n.bitwidth,
+                   has_constant_shift_amount(g, node), data_fanin(g, node));
+
+      // Earliest cycle & in-cycle start from in-block predecessors; values
+      // from other blocks, constants and ports are register/wire outputs
+      // available at cycle 0, time 0.
+      int cycle = 0;
+      double start_ns = 0.0;
+      for (int p : preds[static_cast<std::size_t>(node)]) {
+        const auto it = avail.find(p);
+        if (it == avail.end()) continue;  // const/port/unscheduled
+        const auto bit = block_of_node.find(p);
+        if (bit == block_of_node.end() || bit->second != bb.id) continue;
+        if (it->second.cycle > cycle) {
+          cycle = it->second.cycle;
+          start_ns = it->second.ns;
+        } else if (it->second.cycle == cycle) {
+          start_ns = std::max(start_ns, it->second.ns);
+        }
+      }
+
+      OpSchedule os;
+      os.node = node;
+      if (c.latency == 0) {
+        // Combinational: chain if it fits, otherwise start a fresh state.
+        if (start_ns > 0.0 && start_ns + c.delay_ns > budget) {
+          cycle += 1;
+          start_ns = 0.0;
+        }
+        os.start_cycle = cycle;
+        os.end_cycle = cycle;
+        os.ready_ns = start_ns + c.delay_ns;
+        avail[node] = Avail{cycle, os.ready_ns};
+      } else {
+        // Multi-cycle: starts at a state boundary, output registered.
+        if (start_ns > 0.0) cycle += 1;
+        os.start_cycle = cycle;
+        os.end_cycle = cycle + c.latency;
+        os.ready_ns = 0.0;
+        os.registered = true;
+        avail[node] = Avail{os.end_cycle, 0.0};
+      }
+      bs.max_chain_ns = std::max(
+          bs.max_chain_ns, c.latency == 0 ? os.ready_ns : c.delay_ns);
+      bs.cycles = std::max(bs.cycles, os.end_cycle + 1);
+      block_of_node[node] = bb.id;
+      bs.ops.push_back(os);
+    }
+    for (const OpSchedule& os : bs.ops) sched_of_node[os.node] = nullptr;
+    ps.blocks.push_back(std::move(bs));
+  }
+
+  // Index schedules for the register pass.
+  for (auto& bs : ps.blocks) {
+    for (auto& os : bs.ops) sched_of_node[os.node] = &os;
+  }
+
+  // Pipeline registers: a combinational value crossing a state boundary
+  // (same-block consumer in a later cycle) or a block boundary is stored
+  // once in a bitwidth-wide register.
+  std::vector<bool> needs_reg(static_cast<std::size_t>(g.num_nodes()), false);
+  for (const IrEdge& e : g.edges()) {
+    if (e.type != EdgeType::kData) continue;
+    const auto ps_it = sched_of_node.find(e.src);
+    if (ps_it == sched_of_node.end() || ps_it->second == nullptr) continue;
+    if (ps_it->second->registered) continue;  // multi-cycle output reg exists
+    const auto src_block = block_of_node.find(e.src);
+    const auto dst_block = block_of_node.find(e.dst);
+    const bool cross_block = dst_block == block_of_node.end() ||
+                             dst_block->second != src_block->second;
+    if (cross_block) {
+      needs_reg[static_cast<std::size_t>(e.src)] = true;
+      continue;
+    }
+    const auto pd = sched_of_node.find(e.dst);
+    if (pd != sched_of_node.end() && pd->second != nullptr &&
+        pd->second->start_cycle > ps_it->second->end_cycle) {
+      needs_reg[static_cast<std::size_t>(e.src)] = true;
+    }
+  }
+  for (auto& bs : ps.blocks) {
+    for (auto& os : bs.ops) {
+      if (needs_reg[static_cast<std::size_t>(os.node)]) {
+        os.registered = true;
+        bs.register_ff += lib.register_ff(g.node(os.node).bitwidth);
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < ps.blocks.size(); ++i) {
+    const BlockSchedule& bs = ps.blocks[i];
+    ps.total_states += bs.cycles;
+    ps.total_register_ff += bs.register_ff;
+    ps.max_chain_ns = std::max(ps.max_chain_ns, bs.max_chain_ns);
+    ps.latency_cycles +=
+        prog.blocks[i].exec_count * static_cast<double>(bs.cycles);
+  }
+  return ps;
+}
+
+}  // namespace gnnhls

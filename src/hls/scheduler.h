@@ -1,0 +1,64 @@
+// Clock-constrained operation scheduling (the "HLS middle end").
+//
+// Each basic block is scheduled independently with ASAP list scheduling and
+// operator chaining: combinational operations pack into one FSM state while
+// their accumulated delay fits the clock budget; multi-cycle operators
+// (wide multiply, divide, memory) occupy pipeline stages. Values whose
+// producer and consumer land in different states get pipeline registers —
+// the dominant FF source, and inherently a *global* property of the graph
+// (the reason FF prediction needs more than per-node features).
+#pragma once
+
+#include <vector>
+
+#include "frontend/lower.h"
+#include "hls/resource_model.h"
+
+namespace gnnhls {
+
+struct HlsConfig {
+  double clock_ns = 10.0;
+  /// Fraction of the clock reserved for uncertainty; the scheduler chains
+  /// combinational logic only up to clock_ns * (1 - uncertainty).
+  double clock_uncertainty = 0.125;
+};
+
+/// Schedule of one operation.
+struct OpSchedule {
+  int node = -1;
+  int start_cycle = 0;
+  int end_cycle = 0;       // cycle in which the result becomes available
+  double ready_ns = 0.0;   // in-cycle completion time (chaining position)
+  bool registered = false; // true if the value is written to a register
+};
+
+/// Schedule of one basic block.
+struct BlockSchedule {
+  int block_id = 0;
+  int cycles = 1;                   // FSM states consumed by the block
+  double max_chain_ns = 0.0;        // worst combinational chain in any state
+  std::vector<OpSchedule> ops;      // one entry per datapath op in the block
+  double register_ff = 0.0;         // pipeline-register FFs added here
+};
+
+struct ProgramSchedule {
+  std::vector<BlockSchedule> blocks;
+  int total_states = 0;
+  double total_register_ff = 0.0;
+  double max_chain_ns = 0.0;
+  /// Estimated total latency in cycles, weighted by block execution counts.
+  double latency_cycles = 0.0;
+};
+
+/// True when a shift node's amount operand is a compile-time constant
+/// (such shifts cost nothing; see ResourceLibrary).
+bool has_constant_shift_amount(const IrGraph& graph, int node);
+
+/// Number of incoming data edges of a node (phi/mux fan-in).
+int data_fanin(const IrGraph& graph, int node);
+
+ProgramSchedule schedule_program(const LoweredProgram& prog,
+                                 const ResourceLibrary& lib,
+                                 const HlsConfig& cfg);
+
+}  // namespace gnnhls

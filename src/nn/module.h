@@ -1,0 +1,74 @@
+// Parameter containers and the Module base class.
+//
+// A Parameter is a persistent autograd leaf: its VarNode survives across
+// tapes, so gradients from successive forward passes accumulate until the
+// optimizer consumes and zeroes them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/autograd.h"
+
+namespace gnnhls {
+
+class Parameter {
+ public:
+  Parameter() = default;
+  Parameter(std::string name, Matrix value)
+      : name_(std::move(name)), var_(make_leaf(std::move(value), true)) {}
+
+  const std::string& name() const { return name_; }
+  const Var& var() const { return var_; }
+  const Matrix& value() const { return var_.value(); }
+  Matrix& mutable_value() { return var_.node()->value; }
+  Matrix& mutable_grad() { return var_.node()->grad; }
+  void zero_grad() { var_.node()->grad.fill(0.0F); }
+  std::size_t size() const { return var_.value().size(); }
+
+ private:
+  std::string name_;
+  Var var_;
+};
+
+/// Base class for anything holding trainable parameters. Subclasses register
+/// their parameters (and submodules' parameters) so the optimizer can see a
+/// flat list.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  const std::vector<Parameter*>& parameters() const { return params_; }
+
+  std::size_t parameter_count() const {
+    std::size_t n = 0;
+    for (const auto* p : params_) n += p->size();
+    return n;
+  }
+
+  void zero_grad() {
+    for (auto* p : params_) p->zero_grad();
+  }
+
+ protected:
+  Module() = default;
+
+  /// Registers a parameter owned by the subclass (must outlive the Module).
+  Parameter& register_parameter(Parameter& p) {
+    params_.push_back(&p);
+    return p;
+  }
+
+  /// Adopts all parameters of a child module.
+  void register_module(Module& child) {
+    for (auto* p : child.params_) params_.push_back(p);
+  }
+
+ private:
+  std::vector<Parameter*> params_;
+};
+
+}  // namespace gnnhls

@@ -1,0 +1,292 @@
+#include "progen/progen.h"
+
+#include <string>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace gnnhls {
+
+namespace {
+
+/// Live-variable bookkeeping shared by both generators.
+class ExprSampler {
+ public:
+  ExprSampler(Rng& rng, const ProgenConfig& cfg) : rng_(rng), cfg_(cfg) {}
+
+  void add_live(std::string name, int bits) {
+    live_.push_back({std::move(name), bits});
+  }
+  bool has_live() const { return !live_.empty(); }
+  int live_count() const { return static_cast<int>(live_.size()); }
+
+  /// Scope management: values declared inside a nested block die at its
+  /// end, so builders snapshot and restore the live set around recursion.
+  std::size_t scope_mark() const { return live_.size(); }
+  void scope_restore(std::size_t mark) { live_.resize(mark); }
+
+  int random_bits() {
+    static const std::vector<int> narrow = {8, 16, 24, 32, 32, 32};
+    static const std::vector<int> wide = {8, 16, 24, 32, 32, 32, 48, 64};
+    return rng_.choice(cfg_.wide_ops ? wide : narrow);
+  }
+
+  /// Operand: biased toward recently defined live variables (ldrgen's
+  /// liveness-driven choice), falling back to literals.
+  ExprPtr operand() {
+    if (has_live() && rng_.uniform() < 0.8) {
+      // Geometric bias toward the most recent definitions.
+      int idx = live_count() - 1;
+      while (idx > 0 && rng_.uniform() < 0.45) --idx;
+      return var(live_[static_cast<std::size_t>(idx)].name);
+    }
+    return lit(rng_.uniform_int(-128, 128), random_bits());
+  }
+
+  /// A random arithmetic/bitwise expression of bounded depth.
+  ExprPtr expression(int depth) {
+    if (depth <= 0 || rng_.uniform() < 0.35) return operand();
+    const double roll = rng_.uniform();
+    if (roll < 0.06) {
+      return un(rng_.uniform() < 0.5 ? UnOpKind::kNeg : UnOpKind::kNot,
+                expression(depth - 1));
+    }
+    if (roll < 0.12) {
+      return select(
+          bin(comparison_op(), expression(depth - 1), expression(depth - 1)),
+          expression(depth - 1), expression(depth - 1));
+    }
+    if (roll < 0.18) {
+      return cast(expression(depth - 1), random_bits());
+    }
+    return bin(arith_op(), expression(depth - 1), expression(depth - 1));
+  }
+
+  BinOpKind arith_op() {
+    // Weighted sample: adds/bitwise dominate real code, multiplies are
+    // common (and the DSP signal of the corpus), divides rare.
+    const int r = rng_.weighted_index(
+        {20, 10, 22, 3, 2, 8, 7, 8, 6, 6});  // add sub mul div rem and or xor shl shr
+    static const BinOpKind ops[] = {
+        BinOpKind::kAdd, BinOpKind::kSub, BinOpKind::kMul, BinOpKind::kDiv,
+        BinOpKind::kRem, BinOpKind::kAnd, BinOpKind::kOr,  BinOpKind::kXor,
+        BinOpKind::kShl, BinOpKind::kShr};
+    return ops[r];
+  }
+
+  BinOpKind comparison_op() {
+    static const std::vector<BinOpKind> ops = {
+        BinOpKind::kLt, BinOpKind::kGt, BinOpKind::kLe,
+        BinOpKind::kGe, BinOpKind::kEq, BinOpKind::kNe};
+    return rng_.choice(ops);
+  }
+
+  std::string fresh_name() { return "v" + std::to_string(counter_++); }
+
+ private:
+  struct Live {
+    std::string name;
+    int bits;
+  };
+  Rng& rng_;
+  const ProgenConfig& cfg_;
+  std::vector<Live> live_;
+  int counter_ = 0;
+};
+
+}  // namespace
+
+Function generate_dfg_program(std::uint64_t seed, const ProgenConfig& cfg) {
+  Rng rng(seed);
+  ExprSampler sampler(rng, cfg);
+  Function f;
+  f.name = "dfg_prog_" + std::to_string(seed);
+
+  // 2–4 scalar input ports.
+  const int num_inputs = rng.uniform_int(2, 4);
+  for (int i = 0; i < num_inputs; ++i) {
+    const int bits = sampler.random_bits();
+    const std::string name = "in" + std::to_string(i);
+    f.params.push_back(Param{name, ScalarType{bits, true}, 0, false});
+    sampler.add_live(name, bits);
+  }
+
+  const int num_ops = rng.uniform_int(cfg.min_ops, cfg.max_ops);
+  for (int i = 0; i < num_ops; ++i) {
+    const std::string name = sampler.fresh_name();
+    const int bits = sampler.random_bits();
+    f.body.push_back(
+        decl(name, ScalarType{bits, true}, sampler.expression(2)));
+    sampler.add_live(name, bits);
+  }
+  // Live-out: return the last value (remaining unconsumed values become
+  // write ports during lowering).
+  f.body.push_back(ret(var("v" + std::to_string(num_ops - 1))));
+  return f;
+}
+
+namespace {
+
+/// Recursive random statement-list builder for CDFG programs.
+class CdfgBuilder {
+ public:
+  CdfgBuilder(Rng& rng, const ProgenConfig& cfg)
+      : rng_(rng), cfg_(cfg), sampler_(rng, cfg) {}
+
+  Function build(std::uint64_t seed) {
+    Function f;
+    f.name = "cdfg_prog_" + std::to_string(seed);
+    const int num_inputs = rng_.uniform_int(2, 3);
+    for (int i = 0; i < num_inputs; ++i) {
+      const int bits = sampler_.random_bits();
+      const std::string name = "in" + std::to_string(i);
+      f.params.push_back(Param{name, ScalarType{bits, true}, 0, false});
+      sampler_.add_live(name, bits);
+      scalars_.push_back(name);
+    }
+    const int num_arrays = rng_.uniform_int(1, cfg_.max_arrays);
+    for (int i = 0; i < num_arrays; ++i) {
+      const std::string name = "arr" + std::to_string(i);
+      const int size = rng_.uniform_int(8, cfg_.max_array_size);
+      f.body.push_back(decl_array(name, ScalarType{32, true}, size));
+      arrays_.push_back({name, size});
+    }
+
+    const int num_stmts = rng_.uniform_int(cfg_.min_stmts, cfg_.max_stmts);
+    auto stmts = statements(num_stmts, /*depth=*/0);
+    for (auto& s : stmts) f.body.push_back(std::move(s));
+    f.body.push_back(ret(sampler_.operand()));
+    return f;
+  }
+
+ private:
+  std::vector<StmtPtr> statements(int budget, int depth) {
+    std::vector<StmtPtr> out;
+    while (budget > 0) {
+      const double roll = rng_.uniform();
+      if (roll < 0.28 && depth < cfg_.max_loop_depth) {
+        const int inner = std::min(budget - 1, rng_.uniform_int(2, 6));
+        out.push_back(make_loop(inner, depth));
+        budget -= inner + 1;
+      } else if (roll < 0.42 && depth < cfg_.max_loop_depth + 1) {
+        const int inner = std::min(budget - 1, rng_.uniform_int(1, 4));
+        out.push_back(make_if(inner, depth));
+        budget -= inner + 1;
+      } else {
+        out.push_back(make_simple());
+        budget -= 1;
+      }
+    }
+    return out;
+  }
+
+  StmtPtr make_simple() {
+    const double roll = rng_.uniform();
+    if (!arrays_.empty() && roll < 0.22) {
+      const auto& [name, size] = rng_.choice(arrays_);
+      return assign_array(name, bounded_index(size), sampler_.expression(2));
+    }
+    if (!arrays_.empty() && roll < 0.40) {
+      const auto& [name, size] = rng_.choice(arrays_);
+      const std::string v = sampler_.fresh_name();
+      auto s = decl(v, ScalarType{32, true},
+                    bin(BinOpKind::kAdd, aref(name, bounded_index(size)),
+                        sampler_.expression(1)));
+      sampler_.add_live(v, 32);
+      scalars_.push_back(v);
+      return s;
+    }
+    if (!scalars_.empty() && roll < 0.62) {
+      const std::string& target = rng_.choice(scalars_);
+      return assign(target, sampler_.expression(2));
+    }
+    const std::string v = sampler_.fresh_name();
+    const int bits = sampler_.random_bits();
+    auto s = decl(v, ScalarType{bits, true}, sampler_.expression(2));
+    sampler_.add_live(v, bits);
+    scalars_.push_back(v);
+    return s;
+  }
+
+  StmtPtr make_loop(int body_budget, int depth) {
+    const std::string iv = "i" + std::to_string(loop_counter_++);
+    const long trip = rng_.uniform_int(2, cfg_.max_trip_count);
+    const auto live_mark = sampler_.scope_mark();
+    const auto scalar_mark = scalars_.size();
+    sampler_.add_live(iv, 32);
+    scalars_.push_back(iv);
+    auto body = statements(body_budget, depth + 1);
+    // Everything declared in the body (and the induction variable) is out
+    // of scope after the loop.
+    sampler_.scope_restore(live_mark);
+    scalars_.resize(scalar_mark);
+    return for_stmt(iv, 0, trip, 1, std::move(body));
+  }
+
+  StmtPtr make_if(int body_budget, int depth) {
+    auto cond = bin(sampler_.comparison_op(), sampler_.expression(1),
+                    sampler_.expression(1));
+    const auto live_mark = sampler_.scope_mark();
+    const auto scalar_mark = scalars_.size();
+    auto then_body = statements(std::max(body_budget / 2, 1), depth + 1);
+    sampler_.scope_restore(live_mark);
+    scalars_.resize(scalar_mark);
+    std::vector<StmtPtr> else_body;
+    if (rng_.uniform() < 0.55 && body_budget > 1) {
+      else_body = statements(body_budget - body_budget / 2, depth + 1);
+      sampler_.scope_restore(live_mark);
+      scalars_.resize(scalar_mark);
+    }
+    return if_stmt(std::move(cond), std::move(then_body),
+                   std::move(else_body));
+  }
+
+  /// Index expressions are masked into range (synthesizable access).
+  ExprPtr bounded_index(int size) {
+    // x & (2^k - 1) with 2^k <= size keeps indices in bounds.
+    int mask = 1;
+    while (mask * 2 <= size) mask *= 2;
+    return bin(BinOpKind::kAnd, sampler_.expression(1), lit(mask - 1, 32));
+  }
+
+  Rng& rng_;
+  const ProgenConfig& cfg_;
+  ExprSampler sampler_;
+  std::vector<std::string> scalars_;
+  std::vector<std::pair<std::string, int>> arrays_;
+  int loop_counter_ = 0;
+};
+
+}  // namespace
+
+namespace {
+
+bool stmts_contain_loop(const std::vector<StmtPtr>& stmts) {
+  for (const auto& s : stmts) {
+    if (s->kind == Stmt::Kind::kFor) return true;
+    if (stmts_contain_loop(s->body) || stmts_contain_loop(s->else_body)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Function generate_cdfg_program(std::uint64_t seed, const ProgenConfig& cfg) {
+  Rng rng(seed);
+  CdfgBuilder builder(rng, cfg);
+  Function f = builder.build(seed);
+  // The CDFG population is defined by loops (§3.1: "CDFGs are extracted
+  // from programs with loops"); guarantee at least one.
+  if (!stmts_contain_loop(f.body)) {
+    std::vector<StmtPtr> body;
+    body.push_back(decl("acc_fix", ScalarType{32, true},
+                        bin(BinOpKind::kAdd, var("in0"), lit(1, 32))));
+    f.body.insert(f.body.end() - 1,
+                  for_stmt("i_fix", 0, 8, 1, std::move(body)));
+  }
+  return f;
+}
+
+}  // namespace gnnhls

@@ -1,0 +1,88 @@
+// Internal expression-building DSL for the suite kernels.
+//
+// Operator overloads on ExprPtr keep 56 kernels readable:
+//   assign_array("C", idx2("i","j",N), A("A", idx2("i","k",N)) * A("B", ...))
+// Only included by the suites' .cpp files.
+#pragma once
+
+#include <utility>
+
+#include "frontend/ast.h"
+
+namespace gnnhls::suite_dsl {
+
+inline ExprPtr operator+(ExprPtr a, ExprPtr b) {
+  return bin(BinOpKind::kAdd, std::move(a), std::move(b));
+}
+inline ExprPtr operator-(ExprPtr a, ExprPtr b) {
+  return bin(BinOpKind::kSub, std::move(a), std::move(b));
+}
+inline ExprPtr operator*(ExprPtr a, ExprPtr b) {
+  return bin(BinOpKind::kMul, std::move(a), std::move(b));
+}
+inline ExprPtr operator/(ExprPtr a, ExprPtr b) {
+  return bin(BinOpKind::kDiv, std::move(a), std::move(b));
+}
+inline ExprPtr operator%(ExprPtr a, ExprPtr b) {
+  return bin(BinOpKind::kRem, std::move(a), std::move(b));
+}
+inline ExprPtr operator&(ExprPtr a, ExprPtr b) {
+  return bin(BinOpKind::kAnd, std::move(a), std::move(b));
+}
+inline ExprPtr operator|(ExprPtr a, ExprPtr b) {
+  return bin(BinOpKind::kOr, std::move(a), std::move(b));
+}
+inline ExprPtr operator^(ExprPtr a, ExprPtr b) {
+  return bin(BinOpKind::kXor, std::move(a), std::move(b));
+}
+inline ExprPtr operator<<(ExprPtr a, ExprPtr b) {
+  return bin(BinOpKind::kShl, std::move(a), std::move(b));
+}
+inline ExprPtr operator>>(ExprPtr a, ExprPtr b) {
+  return bin(BinOpKind::kShr, std::move(a), std::move(b));
+}
+
+inline ExprPtr lt(ExprPtr a, ExprPtr b) {
+  return bin(BinOpKind::kLt, std::move(a), std::move(b));
+}
+inline ExprPtr gt(ExprPtr a, ExprPtr b) {
+  return bin(BinOpKind::kGt, std::move(a), std::move(b));
+}
+inline ExprPtr eq(ExprPtr a, ExprPtr b) {
+  return bin(BinOpKind::kEq, std::move(a), std::move(b));
+}
+
+/// Row-major 2D index: i * cols + j.
+inline ExprPtr idx2(const std::string& i, const std::string& j, long cols) {
+  return bin(BinOpKind::kAdd,
+             bin(BinOpKind::kMul, var(i), lit(cols)), var(j));
+}
+
+/// Array element shorthand.
+inline ExprPtr A(const std::string& name, ExprPtr index) {
+  return aref(name, std::move(index));
+}
+
+/// Counted loop 0..n-1 with step 1.
+inline StmtPtr loop(const std::string& iv, long n, std::vector<StmtPtr> body) {
+  return for_stmt(iv, 0, n, 1, std::move(body));
+}
+
+/// In-param scalar / array declarations.
+inline Param in_scalar(const std::string& name, int bits = 32) {
+  return Param{name, ScalarType{bits, true}, 0, false};
+}
+inline Param in_array(const std::string& name, int size, int bits = 32) {
+  return Param{name, ScalarType{bits, true}, size, false};
+}
+
+/// Moves a statement list into a vector (brace-init of move-only types).
+template <typename... S>
+std::vector<StmtPtr> stmts(S&&... s) {
+  std::vector<StmtPtr> v;
+  v.reserve(sizeof...(s));
+  (v.push_back(std::forward<S>(s)), ...);
+  return v;
+}
+
+}  // namespace gnnhls::suite_dsl

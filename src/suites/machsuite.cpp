@@ -1,0 +1,515 @@
+// MachSuite-style kernels (Reagen et al., IISWC'14): 16 accelerator
+// workloads. Integer-only mini versions preserving each kernel's loop and
+// dataflow structure.
+#include "suites/suites.h"
+
+#include "suites/dsl.h"
+
+namespace gnnhls {
+
+namespace {
+
+using namespace suite_dsl;  // NOLINT(google-build-using-namespace)
+
+Function ms_gemm_ncubed() {
+  constexpr long n = 8;
+  Function f;
+  f.name = "gemm_ncubed";
+  f.params = {in_array("m1", n * n), in_array("m2", n * n)};
+  f.body.push_back(decl_array("prod", ScalarType{32, true}, n * n));
+  f.body.push_back(loop(
+      "i", n,
+      stmts(loop(
+          "j", n,
+          stmts(decl("sum", ScalarType{32, true}, lit(0)),
+                loop("k", n,
+                     stmts(assign(
+                         "sum",
+                         var("sum") + A("m1", idx2("i", "k", n)) *
+                                          A("m2", idx2("k", "j", n))))),
+                assign_array("prod", idx2("i", "j", n), var("sum")))))));
+  f.body.push_back(ret(A("prod", lit(0))));
+  return f;
+}
+
+Function ms_gemm_blocked() {
+  constexpr long n = 8, b = 4;
+  Function f;
+  f.name = "gemm_blocked";
+  f.params = {in_array("m1", n * n), in_array("m2", n * n)};
+  f.body.push_back(decl_array("prod", ScalarType{32, true}, n * n));
+  // Blocked loop nest: jj, kk, i, k, j (5 deep), built inside-out.
+  auto j_body = stmts(
+      decl("jidx", ScalarType{32, true}, var("jj") * lit(b) + var("j")),
+      assign_array("prod", var("i") * lit(n) + var("jidx"),
+                   A("prod", var("i") * lit(n) + var("jidx")) +
+                       var("tmp") * A("m2", var("kidx") * lit(n) +
+                                              var("jidx"))));
+  auto k_body = stmts(
+      decl("kidx", ScalarType{32, true}, var("kk") * lit(b) + var("k")),
+      decl("tmp", ScalarType{32, true},
+           A("m1", var("i") * lit(n) + var("kidx"))),
+      loop("j", b, std::move(j_body)));
+  auto i_body = stmts(loop("k", b, std::move(k_body)));
+  auto kk_body = stmts(loop("i", n, std::move(i_body)));
+  f.body.push_back(
+      loop("jj", n / b, stmts(loop("kk", n / b, std::move(kk_body)))));
+  f.body.push_back(ret(A("prod", lit(0))));
+  return f;
+}
+
+Function ms_spmv_crs() {
+  constexpr long nnz = 32, rows = 8;
+  Function f;
+  f.name = "spmv_crs";
+  f.params = {in_array("val", nnz), in_array("cols", nnz),
+              in_array("rowDelimiters", rows + 1), in_array("vec", rows)};
+  f.body.push_back(decl_array("out", ScalarType{32, true}, rows));
+  f.body.push_back(loop(
+      "i", rows,
+      stmts(decl("sum", ScalarType{32, true}, lit(0)),
+            loop("j", nnz / rows,
+                 stmts(decl("k", ScalarType{32, true},
+                            (A("rowDelimiters", var("i")) + var("j")) &
+                                lit(nnz - 1)),
+                       assign("sum",
+                              var("sum") +
+                                  A("val", var("k")) *
+                                      A("vec", A("cols", var("k")) &
+                                                   lit(rows - 1))))),
+            assign_array("out", var("i"), var("sum")))));
+  f.body.push_back(ret(A("out", lit(0))));
+  return f;
+}
+
+Function ms_stencil2d() {
+  constexpr long r = 8, c = 8;
+  Function f;
+  f.name = "stencil2d";
+  f.params = {in_array("orig", r * c), in_array("filter", 9)};
+  f.body.push_back(decl_array("sol", ScalarType{32, true}, r * c));
+  f.body.push_back(loop(
+      "i", r - 2,
+      stmts(loop(
+          "j", c - 2,
+          stmts(decl("temp", ScalarType{32, true}, lit(0)),
+                loop("k", 3,
+                     stmts(loop(
+                         "l", 3,
+                         stmts(assign(
+                             "temp",
+                             var("temp") +
+                                 A("filter", var("k") * lit(3) + var("l")) *
+                                     A("orig", (var("i") + var("k")) * lit(c) +
+                                                   var("j") + var("l"))))))),
+                assign_array("sol", idx2("i", "j", c), var("temp")))))));
+  f.body.push_back(ret(A("sol", lit(0))));
+  return f;
+}
+
+Function ms_stencil3d() {
+  constexpr long d = 4, r = 4, c = 4;
+  Function f;
+  f.name = "stencil3d";
+  f.params = {in_array("orig", d * r * c), in_scalar("c0"), in_scalar("c1")};
+  f.body.push_back(decl_array("sol", ScalarType{32, true}, d * r * c));
+  f.body.push_back(loop(
+      "i", d - 2,
+      stmts(loop(
+          "j", r - 2,
+          stmts(loop(
+              "k", c - 2,
+              stmts(
+                  decl("center", ScalarType{32, true},
+                       A("orig", (var("i") + lit(1)) * lit(r * c) +
+                                     (var("j") + lit(1)) * lit(c) + var("k") +
+                                     lit(1))),
+                  decl("ring", ScalarType{32, true},
+                       A("orig", var("i") * lit(r * c) +
+                                     (var("j") + lit(1)) * lit(c) + var("k") +
+                                     lit(1)) +
+                           A("orig", (var("i") + lit(2)) * lit(r * c) +
+                                         (var("j") + lit(1)) * lit(c) +
+                                         var("k") + lit(1)) +
+                           A("orig", (var("i") + lit(1)) * lit(r * c) +
+                                         var("j") * lit(c) + var("k") +
+                                         lit(1)) +
+                           A("orig", (var("i") + lit(1)) * lit(r * c) +
+                                         (var("j") + lit(2)) * lit(c) +
+                                         var("k") + lit(1))),
+                  assign_array("sol",
+                               (var("i") + lit(1)) * lit(r * c) +
+                                   (var("j") + lit(1)) * lit(c) + var("k") +
+                                   lit(1),
+                               var("c0") * var("center") +
+                                   var("c1") * var("ring")))))))));
+  f.body.push_back(ret(A("sol", lit(0))));
+  return f;
+}
+
+Function ms_fft_strided() {
+  constexpr long n = 16;
+  Function f;
+  f.name = "fft_strided";
+  f.params = {in_array("real", n), in_array("img", n),
+              in_array("real_twid", n / 2), in_array("img_twid", n / 2)};
+  std::vector<StmtPtr> inner = stmts(
+      decl("even", ScalarType{32, true}, var("odd") - lit(n / 2)),
+      decl("rtmp", ScalarType{32, true},
+           A("real", var("even") & lit(n - 1)) -
+               A("real", var("odd") & lit(n - 1))),
+      decl("itmp", ScalarType{32, true},
+           A("img", var("even") & lit(n - 1)) -
+               A("img", var("odd") & lit(n - 1))),
+      assign_array("real", var("even") & lit(n - 1),
+                   A("real", var("even") & lit(n - 1)) +
+                       A("real", var("odd") & lit(n - 1))),
+      assign_array("img", var("even") & lit(n - 1),
+                   A("img", var("even") & lit(n - 1)) +
+                       A("img", var("odd") & lit(n - 1))),
+      decl("tw", ScalarType{32, true}, var("even") & lit(n / 2 - 1)),
+      assign_array(
+          "real", var("odd") & lit(n - 1),
+          (A("real_twid", var("tw")) * var("rtmp") -
+           A("img_twid", var("tw")) * var("itmp")) >>
+              lit(8)),
+      assign_array(
+          "img", var("odd") & lit(n - 1),
+          (A("real_twid", var("tw")) * var("itmp") +
+           A("img_twid", var("tw")) * var("rtmp")) >>
+              lit(8)));
+  std::vector<StmtPtr> body = stmts(
+      decl("odd", ScalarType{32, true}, var("half") + var("t")));
+  for (auto& s : inner) body.push_back(std::move(s));
+  f.body.push_back(loop(
+      "span", 4,  // log2(n) outer stages
+      stmts(decl("half", ScalarType{32, true}, lit(n) >> (var("span") + lit(1))),
+            loop("t", n / 2, std::move(body)))));
+  f.body.push_back(ret(A("real", lit(0))));
+  return f;
+}
+
+Function ms_fft_transpose() {
+  constexpr long n = 16, s = 4;
+  Function f;
+  f.name = "fft_transpose";
+  f.params = {in_array("in_x", n), in_array("in_y", n)};
+  f.body.push_back(decl_array("wx", ScalarType{32, true}, n));
+  f.body.push_back(decl_array("wy", ScalarType{32, true}, n));
+  f.body.push_back(loop(
+      "i", s,
+      stmts(loop("j", s,
+                 stmts(assign_array("wx", var("j") * lit(s) + var("i"),
+                                    A("in_x", idx2("i", "j", s))),
+                       assign_array("wy", var("j") * lit(s) + var("i"),
+                                    A("in_y", idx2("i", "j", s))))))));
+  f.body.push_back(loop(
+      "k", n / 2,
+      stmts(decl("a", ScalarType{32, true}, A("wx", var("k"))),
+            decl("b", ScalarType{32, true}, A("wx", var("k") + lit(n / 2))),
+            assign_array("wx", var("k"), var("a") + var("b")),
+            assign_array("wx", var("k") + lit(n / 2), var("a") - var("b")))));
+  f.body.push_back(ret(A("wx", lit(0)) + A("wy", lit(0))));
+  return f;
+}
+
+Function ms_bfs_queue() {
+  constexpr long nodes = 16, edges = 32, levels = 4;
+  Function f;
+  f.name = "bfs_queue";
+  f.params = {in_array("edge_begin", nodes), in_array("edge_end", nodes),
+              in_array("dst", edges)};
+  f.body.push_back(decl_array("level", ScalarType{32, true}, nodes));
+  f.body.push_back(decl("cnt", ScalarType{32, true}, lit(0)));
+  f.body.push_back(loop(
+      "horizon", levels,
+      stmts(loop(
+          "n", nodes,
+          stmts(if_stmt(
+              eq(A("level", var("n")), var("horizon")),
+              stmts(loop(
+                  "e", edges / nodes,
+                  stmts(
+                      decl("eid", ScalarType{32, true},
+                           (A("edge_begin", var("n")) + var("e")) &
+                               lit(edges - 1)),
+                      decl("tgt", ScalarType{32, true},
+                           A("dst", var("eid")) & lit(nodes - 1)),
+                      if_stmt(eq(A("level", var("tgt")), lit(0)),
+                              stmts(assign_array("level", var("tgt"),
+                                                 var("horizon") + lit(1)),
+                                    assign("cnt",
+                                           var("cnt") + lit(1)))))))))))));
+  f.body.push_back(ret(var("cnt")));
+  return f;
+}
+
+Function ms_kmp() {
+  constexpr long pattern = 4, text = 32;
+  Function f;
+  f.name = "kmp";
+  f.params = {in_array("pat", pattern), in_array("input", text)};
+  f.body.push_back(decl_array("kmp_next", ScalarType{32, true}, pattern));
+  f.body.push_back(decl("k", ScalarType{32, true}, lit(0)));
+  f.body.push_back(loop(
+      "q", pattern - 1,
+      stmts(if_stmt(eq(A("pat", var("k")), A("pat", var("q") + lit(1))),
+                    stmts(assign("k", var("k") + lit(1))),
+                    stmts(assign("k", lit(0)))),
+            assign_array("kmp_next", var("q") + lit(1), var("k")))));
+  f.body.push_back(decl("matches", ScalarType{32, true}, lit(0)));
+  f.body.push_back(decl("q2", ScalarType{32, true}, lit(0)));
+  f.body.push_back(loop(
+      "i", text,
+      stmts(if_stmt(eq(A("pat", var("q2") & lit(pattern - 1)),
+                       A("input", var("i"))),
+                    stmts(assign("q2", var("q2") + lit(1))),
+                    stmts(assign(
+                        "q2", A("kmp_next", var("q2") & lit(pattern - 1))))),
+            if_stmt(eq(var("q2"), lit(pattern)),
+                    stmts(assign("matches", var("matches") + lit(1)),
+                          assign("q2", lit(0)))))));
+  f.body.push_back(ret(var("matches")));
+  return f;
+}
+
+Function ms_md_knn() {
+  constexpr long atoms = 8, neighbors = 4;
+  Function f;
+  f.name = "md_knn";
+  f.params = {in_array("px", atoms), in_array("py", atoms),
+              in_array("pz", atoms), in_array("nl", atoms * neighbors)};
+  f.body.push_back(decl_array("fx", ScalarType{32, true}, atoms));
+  f.body.push_back(loop(
+      "i", atoms,
+      stmts(
+          decl("fxi", ScalarType{32, true}, lit(0)),
+          loop("j", neighbors,
+               stmts(decl("nid", ScalarType{32, true},
+                          A("nl", var("i") * lit(neighbors) + var("j")) &
+                              lit(atoms - 1)),
+                     decl("dx", ScalarType{32, true},
+                          A("px", var("i")) - A("px", var("nid"))),
+                     decl("dy", ScalarType{32, true},
+                          A("py", var("i")) - A("py", var("nid"))),
+                     decl("dz", ScalarType{32, true},
+                          A("pz", var("i")) - A("pz", var("nid"))),
+                     decl("r2", ScalarType{32, true},
+                          var("dx") * var("dx") + var("dy") * var("dy") +
+                              var("dz") * var("dz")),
+                     // 1/r^6 potential approximated in fixed point
+                     decl("r2inv", ScalarType{32, true},
+                          lit(1 << 16) / (var("r2") | lit(1))),
+                     decl("r6inv", ScalarType{32, true},
+                          (var("r2inv") * var("r2inv")) >> lit(8)),
+                     decl("pot", ScalarType{32, true},
+                          var("r6inv") * (var("r6inv") - lit(16)) >> lit(8)),
+                     assign("fxi", var("fxi") + var("pot") * var("dx")))),
+          assign_array("fx", var("i"), var("fxi")))));
+  f.body.push_back(ret(A("fx", lit(0))));
+  return f;
+}
+
+Function ms_nw() {
+  constexpr long alen = 8, blen = 8;
+  Function f;
+  f.name = "nw";
+  f.params = {in_array("seqA", alen), in_array("seqB", blen)};
+  f.body.push_back(decl_array("M", ScalarType{32, true},
+                              (alen + 1) * (blen + 1)));
+  f.body.push_back(loop(
+      "a", alen,
+      stmts(loop(
+          "b", blen,
+          stmts(
+              decl("score", ScalarType{32, true},
+                   select(eq(A("seqA", var("a")), A("seqB", var("b"))),
+                          lit(1), lit(-1))),
+              decl("up_left", ScalarType{32, true},
+                   A("M", var("a") * lit(blen + 1) + var("b")) + var("score")),
+              decl("up", ScalarType{32, true},
+                   A("M", var("a") * lit(blen + 1) + var("b") + lit(1)) -
+                       lit(1)),
+              decl("left", ScalarType{32, true},
+                   A("M", (var("a") + lit(1)) * lit(blen + 1) + var("b")) -
+                       lit(1)),
+              decl("mx", ScalarType{32, true},
+                   select(gt(var("up_left"), var("up")), var("up_left"),
+                          var("up"))),
+              assign_array("M",
+                           (var("a") + lit(1)) * lit(blen + 1) + var("b") +
+                               lit(1),
+                           select(gt(var("mx"), var("left")), var("mx"),
+                                  var("left"))))))));
+  f.body.push_back(ret(A("M", lit((alen + 1) * (blen + 1) - 1))));
+  return f;
+}
+
+Function ms_sort_merge() {
+  constexpr long n = 16;
+  Function f;
+  f.name = "sort_merge";
+  f.params = {in_array("a", n)};
+  f.body.push_back(decl_array("temp", ScalarType{32, true}, n));
+  f.body.push_back(loop(
+      "width", 4,  // log2 passes
+      stmts(loop(
+          "i", n,
+          stmts(decl("lo", ScalarType{32, true}, A("a", var("i"))),
+                decl("hi", ScalarType{32, true},
+                     A("a", (var("i") + (lit(1) << var("width"))) &
+                                lit(n - 1))),
+                assign_array("temp", var("i"),
+                             select(lt(var("lo"), var("hi")), var("lo"),
+                                    var("hi"))))),
+            loop("j", n, stmts(assign_array("a", var("j"),
+                                            A("temp", var("j"))))))));
+  f.body.push_back(ret(A("a", lit(0))));
+  return f;
+}
+
+Function ms_sort_radix() {
+  constexpr long n = 16, buckets = 4;
+  Function f;
+  f.name = "sort_radix";
+  f.params = {in_array("a", n)};
+  f.body.push_back(decl_array("bucket", ScalarType{32, true}, buckets));
+  f.body.push_back(decl_array("sum", ScalarType{32, true}, buckets));
+  f.body.push_back(loop(
+      "exp", 4,
+      stmts(loop("b", buckets, stmts(assign_array("bucket", var("b"), lit(0)))),
+            loop("i", n,
+                 stmts(decl("d", ScalarType{32, true},
+                            (A("a", var("i")) >> (var("exp") * lit(2))) &
+                                lit(buckets - 1)),
+                       assign_array("bucket", var("d"),
+                                    A("bucket", var("d")) + lit(1)))),
+            decl("acc", ScalarType{32, true}, lit(0)),
+            loop("b2", buckets,
+                 stmts(assign_array("sum", var("b2"), var("acc")),
+                       assign("acc", var("acc") + A("bucket", var("b2"))))))));
+  f.body.push_back(ret(A("sum", lit(buckets - 1))));
+  return f;
+}
+
+Function ms_viterbi() {
+  constexpr long states = 4, steps = 8;
+  Function f;
+  f.name = "viterbi";
+  f.params = {in_array("obs", steps), in_array("transition", states * states),
+              in_array("emission", states * states)};
+  f.body.push_back(decl_array("llike", ScalarType{32, true}, states));
+  f.body.push_back(loop(
+      "t", steps - 1,
+      stmts(loop(
+          "curr", states,
+          stmts(
+              decl("min_val", ScalarType{32, true}, lit(1 << 20)),
+              loop("prev", states,
+                   stmts(decl("p", ScalarType{32, true},
+                              A("llike", var("prev")) +
+                                  A("transition",
+                                    idx2("prev", "curr", states)) +
+                                  A("emission",
+                                    var("curr") * lit(states) +
+                                        (A("obs", var("t")) &
+                                         lit(states - 1)))),
+                         assign("min_val",
+                                select(lt(var("p"), var("min_val")), var("p"),
+                                       var("min_val"))))),
+              assign_array("llike", var("curr"), var("min_val")))))));
+  f.body.push_back(ret(A("llike", lit(0))));
+  return f;
+}
+
+Function ms_aes_shift_rows() {
+  Function f;
+  f.name = "aes_shift_rows";
+  f.params = {in_array("buf", 16), in_array("sbox", 16)};
+  f.body.push_back(decl_array("out", ScalarType{8, true}, 16));
+  // SubBytes + ShiftRows + partial MixColumns in fixed form.
+  f.body.push_back(loop(
+      "i", 4,
+      stmts(loop(
+          "j", 4,
+          stmts(decl("srcv", ScalarType{8, true},
+                     A("buf", ((var("j") + var("i")) & lit(3)) * lit(4) +
+                                  var("i"))),
+                decl("sub", ScalarType{8, true},
+                     A("sbox", var("srcv") & lit(15))),
+                decl("xt", ScalarType{8, true},
+                     ((var("sub") << lit(1)) ^
+                      select(gt(var("sub") & lit(128), lit(0)), lit(27),
+                             lit(0))) &
+                         lit(255)),
+                assign_array("out", idx2("j", "i", 4),
+                             var("xt") ^ var("sub")))))));
+  f.body.push_back(ret(A("out", lit(0))));
+  return f;
+}
+
+Function ms_backprop() {
+  constexpr long in_dim = 8, out_dim = 4;
+  Function f;
+  f.name = "backprop";
+  f.params = {in_array("weights", in_dim * out_dim), in_array("inputs", in_dim),
+              in_array("targets", out_dim)};
+  f.body.push_back(decl_array("activations", ScalarType{32, true}, out_dim));
+  f.body.push_back(decl_array("deltas", ScalarType{32, true}, out_dim));
+  f.body.push_back(loop(
+      "o", out_dim,
+      stmts(decl("acc", ScalarType{32, true}, lit(0)),
+            loop("i", in_dim,
+                 stmts(assign("acc", var("acc") +
+                                         A("weights",
+                                           var("o") * lit(in_dim) + var("i")) *
+                                             A("inputs", var("i"))))),
+            // Hard-sigmoid activation in fixed point.
+            decl("act", ScalarType{32, true},
+                 select(gt(var("acc"), lit(256)), lit(256),
+                        select(lt(var("acc"), lit(-256)), lit(-256),
+                               var("acc")))),
+            assign_array("activations", var("o"), var("act")),
+            assign_array("deltas", var("o"),
+                         (A("targets", var("o")) - var("act")) *
+                             (lit(256) - var("act")) >>
+                             lit(8)))));
+  f.body.push_back(loop(
+      "o2", out_dim,
+      stmts(loop("i2", in_dim,
+                 stmts(assign_array(
+                     "weights", var("o2") * lit(in_dim) + var("i2"),
+                     A("weights", var("o2") * lit(in_dim) + var("i2")) +
+                         (A("deltas", var("o2")) * A("inputs", var("i2")) >>
+                          lit(8))))))));
+  f.body.push_back(ret(A("deltas", lit(0))));
+  return f;
+}
+
+}  // namespace
+
+std::vector<SuiteProgram> machsuite_all() {
+  std::vector<SuiteProgram> v;
+  const auto add = [&v](Function f) {
+    v.push_back(SuiteProgram{"machsuite", f.name, std::move(f)});
+  };
+  add(ms_aes_shift_rows());
+  add(ms_backprop());
+  add(ms_bfs_queue());
+  add(ms_fft_strided());
+  add(ms_fft_transpose());
+  add(ms_gemm_blocked());
+  add(ms_gemm_ncubed());
+  add(ms_kmp());
+  add(ms_md_knn());
+  add(ms_nw());
+  add(ms_sort_merge());
+  add(ms_sort_radix());
+  add(ms_spmv_crs());
+  add(ms_stencil2d());
+  add(ms_stencil3d());
+  add(ms_viterbi());
+  return v;
+}
+
+}  // namespace gnnhls

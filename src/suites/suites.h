@@ -1,0 +1,35 @@
+// Real-world HLS benchmark suites (paper §3.2): mini implementations of
+// MachSuite (16 kernels), CHStone (10) and PolyBench/C (30) as mini-C ASTs.
+//
+// Exactly as in the paper, these 56 applications are *never trained on* —
+// they exist for generalization evaluation (Table 3 "Real Case", Table 5).
+// Each kernel reproduces the computational motif of its namesake (loop
+// nests, array traffic, bit manipulation, reductions) at laptop-friendly
+// problem sizes; trip counts only affect the HLS simulator's latency
+// accounting, not the CDFG shape, so small N preserves graph structure.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "frontend/ast.h"
+
+namespace gnnhls {
+
+struct SuiteProgram {
+  std::string suite;  // "machsuite" | "chstone" | "polybench"
+  std::string name;   // kernel name, e.g. "gemm"
+  Function func;
+};
+
+/// 16 MachSuite-style accelerator kernels.
+std::vector<SuiteProgram> machsuite_all();
+/// 10 CHStone-style application kernels.
+std::vector<SuiteProgram> chstone_all();
+/// 30 PolyBench/C-style polyhedral kernels.
+std::vector<SuiteProgram> polybench_all();
+
+/// All 56, in suite order (the paper's "real-case" evaluation set).
+std::vector<SuiteProgram> all_real_world();
+
+}  // namespace gnnhls

@@ -1,0 +1,32 @@
+// Error-handling macros used across the library.
+//
+// GNNHLS_CHECK is for preconditions/invariants whose violation indicates a
+// caller bug or corrupted input; it throws std::invalid_argument so callers
+// (and tests) can observe the failure instead of aborting.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gnnhls {
+
+[[noreturn]] inline void throw_check_failure(const char* file, int line,
+                                             const char* expr,
+                                             const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+}  // namespace gnnhls
+
+#define GNNHLS_CHECK(cond, msg)                                         \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::gnnhls::throw_check_failure(__FILE__, __LINE__, #cond, (msg));  \
+    }                                                                   \
+  } while (false)
+
+#define GNNHLS_CHECK_EQ(a, b, msg) GNNHLS_CHECK((a) == (b), (msg))

@@ -1,0 +1,73 @@
+#include "support/flags.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "support/check.h"
+
+namespace gnnhls {
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    GNNHLS_CHECK(arg.rfind("--", 0) == 0, "flag must start with --: " + arg);
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";  // bare switch
+    }
+  }
+  for (const auto& [k, v] : values_) consumed_[k] = false;
+}
+
+int Flags::get_int(const std::string& name, int def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  consumed_[name] = true;
+  return std::stoi(it->second);
+}
+
+double Flags::get_double(const std::string& name, double def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  consumed_[name] = true;
+  return std::stod(it->second);
+}
+
+std::string Flags::get_string(const std::string& name,
+                              const std::string& def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  consumed_[name] = true;
+  return it->second;
+}
+
+bool Flags::get_bool(const std::string& name, bool def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  consumed_[name] = true;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+bool Flags::has(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it != values_.end()) consumed_[name] = true;
+  return it != values_.end();
+}
+
+void Flags::check_all_consumed() const {
+  std::ostringstream unknown;
+  for (const auto& [name, used] : consumed_) {
+    if (!used) unknown << " --" << name;
+  }
+  const std::string s = unknown.str();
+  if (!s.empty()) {
+    throw std::invalid_argument("unknown flag(s):" + s);
+  }
+}
+
+}  // namespace gnnhls

@@ -1,0 +1,32 @@
+// Minimal command-line flag parsing for bench/example binaries.
+//
+// Supports "--name=value" and "--name value". Unknown flags raise, so typos
+// in experiment sweeps fail loudly instead of silently running defaults.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace gnnhls {
+
+class Flags {
+ public:
+  /// Parses argv; throws std::invalid_argument on malformed input.
+  Flags(int argc, const char* const* argv);
+
+  int get_int(const std::string& name, int def) const;
+  double get_double(const std::string& name, double def) const;
+  std::string get_string(const std::string& name, const std::string& def) const;
+  bool get_bool(const std::string& name, bool def) const;
+  bool has(const std::string& name) const;
+
+  /// Names that were provided but never read — used to reject typos.
+  /// Call after all get_*() calls.
+  void check_all_consumed() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> consumed_;
+};
+
+}  // namespace gnnhls

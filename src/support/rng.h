@@ -1,0 +1,71 @@
+// Seeded random number generation.
+//
+// Every stochastic component in the library (program generator, weight init,
+// dataset shuffling, dropout) draws from an explicitly seeded Rng so that all
+// experiments are bit-reproducible regardless of thread scheduling: each
+// parallel experiment owns its own Rng.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "support/check.h"
+
+namespace gnnhls {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int uniform_int(int lo, int hi) {
+    GNNHLS_CHECK(lo <= hi, "uniform_int: empty range");
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  float normal(float mean = 0.0F, float stddev = 1.0F) {
+    return std::normal_distribution<float>(mean, stddev)(engine_);
+  }
+
+  bool bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Samples an index according to non-negative weights.
+  int weighted_index(const std::vector<double>& weights) {
+    GNNHLS_CHECK(!weights.empty(), "weighted_index: no weights");
+    std::discrete_distribution<int> dist(weights.begin(), weights.end());
+    return dist(engine_);
+  }
+
+  template <typename T>
+  const T& choice(const std::vector<T>& items) {
+    GNNHLS_CHECK(!items.empty(), "choice: empty vector");
+    return items[static_cast<std::size_t>(
+        uniform_int(0, static_cast<int>(items.size()) - 1))];
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    std::shuffle(items.begin(), items.end(), engine_);
+  }
+
+  /// Derives an independent child seed (for per-run/per-graph streams).
+  std::uint64_t fork_seed() {
+    return std::uniform_int_distribution<std::uint64_t>()(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace gnnhls

@@ -1,0 +1,30 @@
+// ASCII table rendering for the bench binaries, which print measured results
+// next to the paper's reference numbers in the same row/column layout as the
+// paper's tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gnnhls {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column alignment; header separated by a rule.
+  std::string to_string() const;
+
+  /// Convenience: formats a ratio as a percentage with two decimals ("12.34%").
+  static std::string pct(double fraction);
+  /// Formats a double with the given precision.
+  static std::string num(double value, int precision = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gnnhls

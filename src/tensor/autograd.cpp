@@ -1,0 +1,597 @@
+#include "tensor/autograd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace gnnhls {
+
+namespace {
+
+void ensure_grad_storage(VarNode& n) {
+  if (n.requires_grad && n.grad.empty() && !n.value.empty()) {
+    n.grad = Matrix::zeros(n.value.rows(), n.value.cols());
+  }
+}
+
+bool any_requires_grad(const std::vector<Var>& parents) {
+  return std::any_of(parents.begin(), parents.end(),
+                     [](const Var& v) { return v.requires_grad(); });
+}
+
+}  // namespace
+
+Var make_leaf(Matrix value, bool requires_grad) {
+  auto node = std::make_shared<VarNode>();
+  node->value = std::move(value);
+  node->requires_grad = requires_grad;
+  ensure_grad_storage(*node);
+  return Var(node);
+}
+
+Var Tape::leaf(Matrix value, bool requires_grad) {
+  Var v = make_leaf(std::move(value), requires_grad);
+  ops_.push_back(v.node());
+  return v;
+}
+
+Var Tape::use(const Var& v) {
+  GNNHLS_CHECK(v.valid(), "use: invalid Var");
+  return v;
+}
+
+Var Tape::record(Matrix value, std::vector<Var> parents,
+                 std::function<void(VarNode&)> backprop) {
+  auto node = std::make_shared<VarNode>();
+  node->value = std::move(value);
+  node->requires_grad = any_requires_grad(parents);
+  node->parents.reserve(parents.size());
+  for (const auto& p : parents) node->parents.push_back(p.node());
+  if (node->requires_grad) {
+    // Gradient storage is allocated lazily in backward(), so pure inference
+    // (predict paths) never pays for gradient buffers.
+    node->backprop = std::move(backprop);
+  }
+  ops_.push_back(node);
+  return Var(node);
+}
+
+void Tape::backward(const Var& loss) {
+  GNNHLS_CHECK(loss.valid() && loss.rows() == 1 && loss.cols() == 1,
+               "backward: loss must be a [1,1] Var");
+  GNNHLS_CHECK(loss.requires_grad(),
+               "backward: loss does not depend on any parameter");
+  for (const auto& node : ops_) ensure_grad_storage(*node);
+  ensure_grad_storage(*loss.node());
+  loss.node()->grad(0, 0) += 1.0F;
+  for (auto it = ops_.rbegin(); it != ops_.rend(); ++it) {
+    VarNode& n = **it;
+    if (n.requires_grad && n.backprop) n.backprop(n);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dense ops
+// ---------------------------------------------------------------------------
+
+Var Tape::matmul(const Var& a, const Var& b) {
+  Matrix out = gnnhls::matmul(a.value(), b.value());
+  return record(std::move(out), {a, b}, [a, b](VarNode& n) {
+    if (a.requires_grad()) {
+      a.node()->grad.add_inplace(matmul_transpose_b(n.grad, b.value()));
+    }
+    if (b.requires_grad()) {
+      b.node()->grad.add_inplace(matmul_transpose_a(a.value(), n.grad));
+    }
+  });
+}
+
+Var Tape::add(const Var& a, const Var& b) {
+  GNNHLS_CHECK(a.value().same_shape(b.value()), "add: shape mismatch");
+  Matrix out = a.value();
+  out.add_inplace(b.value());
+  return record(std::move(out), {a, b}, [a, b](VarNode& n) {
+    if (a.requires_grad()) a.node()->grad.add_inplace(n.grad);
+    if (b.requires_grad()) b.node()->grad.add_inplace(n.grad);
+  });
+}
+
+Var Tape::sub(const Var& a, const Var& b) {
+  GNNHLS_CHECK(a.value().same_shape(b.value()), "sub: shape mismatch");
+  Matrix out = a.value();
+  out.add_scaled_inplace(b.value(), -1.0F);
+  return record(std::move(out), {a, b}, [a, b](VarNode& n) {
+    if (a.requires_grad()) a.node()->grad.add_inplace(n.grad);
+    if (b.requires_grad()) b.node()->grad.add_scaled_inplace(n.grad, -1.0F);
+  });
+}
+
+Var Tape::mul(const Var& a, const Var& b) {
+  GNNHLS_CHECK(a.value().same_shape(b.value()), "mul: shape mismatch");
+  Matrix out = a.value();
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] *= b.value().data()[i];
+  }
+  return record(std::move(out), {a, b}, [a, b](VarNode& n) {
+    if (a.requires_grad()) {
+      for (std::size_t i = 0; i < n.grad.size(); ++i) {
+        a.node()->grad.data()[i] += n.grad.data()[i] * b.value().data()[i];
+      }
+    }
+    if (b.requires_grad()) {
+      for (std::size_t i = 0; i < n.grad.size(); ++i) {
+        b.node()->grad.data()[i] += n.grad.data()[i] * a.value().data()[i];
+      }
+    }
+  });
+}
+
+Var Tape::mul_col_broadcast(const Var& a, const Var& b) {
+  GNNHLS_CHECK(b.cols() == 1 && b.rows() == a.rows(),
+               "mul_col_broadcast: b must be [rows(a),1]");
+  Matrix out = a.value();
+  for (int i = 0; i < out.rows(); ++i) {
+    const float s = b.value()(i, 0);
+    float* row = out.row_ptr(i);
+    for (int j = 0; j < out.cols(); ++j) row[j] *= s;
+  }
+  return record(std::move(out), {a, b}, [a, b](VarNode& n) {
+    if (a.requires_grad()) {
+      for (int i = 0; i < n.grad.rows(); ++i) {
+        const float s = b.value()(i, 0);
+        const float* g = n.grad.row_ptr(i);
+        float* ga = a.node()->grad.row_ptr(i);
+        for (int j = 0; j < n.grad.cols(); ++j) ga[j] += g[j] * s;
+      }
+    }
+    if (b.requires_grad()) {
+      for (int i = 0; i < n.grad.rows(); ++i) {
+        const float* g = n.grad.row_ptr(i);
+        const float* av = a.value().row_ptr(i);
+        float acc = 0.0F;
+        for (int j = 0; j < n.grad.cols(); ++j) acc += g[j] * av[j];
+        b.node()->grad(i, 0) += acc;
+      }
+    }
+  });
+}
+
+Var Tape::add_row_bias(const Var& a, const Var& bias) {
+  GNNHLS_CHECK(bias.rows() == 1 && bias.cols() == a.cols(),
+               "add_row_bias: bias must be [1,cols(a)]");
+  Matrix out = a.value();
+  for (int i = 0; i < out.rows(); ++i) {
+    float* row = out.row_ptr(i);
+    const float* b = bias.value().row_ptr(0);
+    for (int j = 0; j < out.cols(); ++j) row[j] += b[j];
+  }
+  return record(std::move(out), {a, bias}, [a, bias](VarNode& n) {
+    if (a.requires_grad()) a.node()->grad.add_inplace(n.grad);
+    if (bias.requires_grad()) {
+      float* gb = bias.node()->grad.row_ptr(0);
+      for (int i = 0; i < n.grad.rows(); ++i) {
+        const float* g = n.grad.row_ptr(i);
+        for (int j = 0; j < n.grad.cols(); ++j) gb[j] += g[j];
+      }
+    }
+  });
+}
+
+Var Tape::affine(const Var& a, float alpha, float beta) {
+  Matrix out = a.value();
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = alpha * out.data()[i] + beta;
+  }
+  return record(std::move(out), {a}, [a, alpha](VarNode& n) {
+    if (a.requires_grad()) a.node()->grad.add_scaled_inplace(n.grad, alpha);
+  });
+}
+
+Var Tape::scale_rows(const Var& a, const std::vector<float>& coeff) {
+  GNNHLS_CHECK_EQ(static_cast<int>(coeff.size()), a.rows(),
+                  "scale_rows: one coefficient per row required");
+  Matrix out = a.value();
+  for (int i = 0; i < out.rows(); ++i) {
+    float* row = out.row_ptr(i);
+    for (int j = 0; j < out.cols(); ++j) row[j] *= coeff[i];
+  }
+  return record(std::move(out), {a}, [a, coeff](VarNode& n) {
+    if (!a.requires_grad()) return;
+    for (int i = 0; i < n.grad.rows(); ++i) {
+      const float* g = n.grad.row_ptr(i);
+      float* ga = a.node()->grad.row_ptr(i);
+      for (int j = 0; j < n.grad.cols(); ++j) ga[j] += g[j] * coeff[i];
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Nonlinearities
+// ---------------------------------------------------------------------------
+
+Var Tape::relu(const Var& a) { return leaky_relu(a, 0.0F); }
+
+Var Tape::leaky_relu(const Var& a, float slope) {
+  Matrix out = a.value();
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (out.data()[i] < 0.0F) out.data()[i] *= slope;
+  }
+  return record(std::move(out), {a}, [a, slope](VarNode& n) {
+    if (!a.requires_grad()) return;
+    for (std::size_t i = 0; i < n.grad.size(); ++i) {
+      const float d = a.value().data()[i] > 0.0F ? 1.0F : slope;
+      a.node()->grad.data()[i] += n.grad.data()[i] * d;
+    }
+  });
+}
+
+Var Tape::sigmoid(const Var& a) {
+  Matrix out = a.value();
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = 1.0F / (1.0F + std::exp(-out.data()[i]));
+  }
+  return record(std::move(out), {a}, [a](VarNode& n) {
+    if (!a.requires_grad()) return;
+    for (std::size_t i = 0; i < n.grad.size(); ++i) {
+      const float y = n.value.data()[i];
+      a.node()->grad.data()[i] += n.grad.data()[i] * y * (1.0F - y);
+    }
+  });
+}
+
+Var Tape::tanh_act(const Var& a) {
+  Matrix out = a.value();
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = std::tanh(out.data()[i]);
+  }
+  return record(std::move(out), {a}, [a](VarNode& n) {
+    if (!a.requires_grad()) return;
+    for (std::size_t i = 0; i < n.grad.size(); ++i) {
+      const float y = n.value.data()[i];
+      a.node()->grad.data()[i] += n.grad.data()[i] * (1.0F - y * y);
+    }
+  });
+}
+
+Var Tape::sqrt_eps(const Var& a, float eps) {
+  GNNHLS_CHECK(eps > 0.0F, "sqrt_eps: eps must be positive");
+  Matrix out = a.value();
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = std::sqrt(std::max(out.data()[i], 0.0F) + eps);
+  }
+  return record(std::move(out), {a}, [a](VarNode& n) {
+    if (!a.requires_grad()) return;
+    for (std::size_t i = 0; i < n.grad.size(); ++i) {
+      // d sqrt(max(x,0)+eps)/dx = 1/(2*out) for x>0, 0 for x<0.
+      if (a.value().data()[i] <= 0.0F) continue;
+      a.node()->grad.data()[i] +=
+          n.grad.data()[i] * 0.5F / n.value.data()[i];
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Structure ops
+// ---------------------------------------------------------------------------
+
+Var Tape::gather_rows(const Var& a, const std::vector<int>& idx) {
+  Matrix out(static_cast<int>(idx.size()), a.cols());
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    GNNHLS_CHECK(idx[i] >= 0 && idx[i] < a.rows(), "gather_rows: bad index");
+    std::copy(a.value().row_ptr(idx[i]), a.value().row_ptr(idx[i]) + a.cols(),
+              out.row_ptr(static_cast<int>(i)));
+  }
+  return record(std::move(out), {a}, [a, idx](VarNode& n) {
+    if (!a.requires_grad()) return;
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      const float* g = n.grad.row_ptr(static_cast<int>(i));
+      float* ga = a.node()->grad.row_ptr(idx[i]);
+      for (int j = 0; j < n.grad.cols(); ++j) ga[j] += g[j];
+    }
+  });
+}
+
+Var Tape::scatter_add_rows(const Var& a, const std::vector<int>& idx,
+                           int out_rows) {
+  GNNHLS_CHECK_EQ(static_cast<int>(idx.size()), a.rows(),
+                  "scatter_add_rows: one index per row required");
+  Matrix out(out_rows, a.cols());
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    GNNHLS_CHECK(idx[i] >= 0 && idx[i] < out_rows,
+                 "scatter_add_rows: bad index");
+    const float* src = a.value().row_ptr(static_cast<int>(i));
+    float* dst = out.row_ptr(idx[i]);
+    for (int j = 0; j < a.cols(); ++j) dst[j] += src[j];
+  }
+  return record(std::move(out), {a}, [a, idx](VarNode& n) {
+    if (!a.requires_grad()) return;
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      const float* g = n.grad.row_ptr(idx[i]);
+      float* ga = a.node()->grad.row_ptr(static_cast<int>(i));
+      for (int j = 0; j < n.grad.cols(); ++j) ga[j] += g[j];
+    }
+  });
+}
+
+Var Tape::segment_mean(const Var& a, const std::vector<int>& idx,
+                       int segments) {
+  Var summed = scatter_add_rows(a, idx, segments);
+  std::vector<int> count(static_cast<std::size_t>(segments), 0);
+  for (int i : idx) count[static_cast<std::size_t>(i)]++;
+  std::vector<float> inv(count.size());
+  for (std::size_t s = 0; s < count.size(); ++s) {
+    inv[s] = count[s] > 0 ? 1.0F / static_cast<float>(count[s]) : 0.0F;
+  }
+  return scale_rows(summed, inv);
+}
+
+namespace {
+
+/// Shared implementation of segment_max / segment_min.
+/// sign = +1 for max, -1 for min. Empty segments produce 0.
+Matrix segment_extreme_forward(const Matrix& a, const std::vector<int>& idx,
+                               int segments, float sign,
+                               std::vector<int>& arg /*segments*cols*/) {
+  Matrix out(segments, a.cols());
+  arg.assign(static_cast<std::size_t>(segments) * a.cols(), -1);
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    const int s = idx[i];
+    const float* src = a.row_ptr(static_cast<int>(i));
+    for (int j = 0; j < a.cols(); ++j) {
+      int& slot = arg[static_cast<std::size_t>(s) * a.cols() + j];
+      if (slot < 0 || sign * src[j] > sign * out(s, j)) {
+        out(s, j) = src[j];
+        slot = static_cast<int>(i);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Var Tape::segment_max(const Var& a, const std::vector<int>& idx,
+                      int segments) {
+  GNNHLS_CHECK_EQ(static_cast<int>(idx.size()), a.rows(),
+                  "segment_max: one index per row required");
+  auto arg = std::make_shared<std::vector<int>>();
+  Matrix out = segment_extreme_forward(a.value(), idx, segments, 1.0F, *arg);
+  const int cols = a.cols();
+  return record(std::move(out), {a}, [a, arg, cols](VarNode& n) {
+    if (!a.requires_grad()) return;
+    for (int s = 0; s < n.grad.rows(); ++s) {
+      for (int j = 0; j < cols; ++j) {
+        const int src = (*arg)[static_cast<std::size_t>(s) * cols + j];
+        if (src >= 0) a.node()->grad(src, j) += n.grad(s, j);
+      }
+    }
+  });
+}
+
+Var Tape::segment_min(const Var& a, const std::vector<int>& idx,
+                      int segments) {
+  GNNHLS_CHECK_EQ(static_cast<int>(idx.size()), a.rows(),
+                  "segment_min: one index per row required");
+  auto arg = std::make_shared<std::vector<int>>();
+  Matrix out = segment_extreme_forward(a.value(), idx, segments, -1.0F, *arg);
+  const int cols = a.cols();
+  return record(std::move(out), {a}, [a, arg, cols](VarNode& n) {
+    if (!a.requires_grad()) return;
+    for (int s = 0; s < n.grad.rows(); ++s) {
+      for (int j = 0; j < cols; ++j) {
+        const int src = (*arg)[static_cast<std::size_t>(s) * cols + j];
+        if (src >= 0) a.node()->grad(src, j) += n.grad(s, j);
+      }
+    }
+  });
+}
+
+Var Tape::segment_softmax(const Var& a, const std::vector<int>& idx,
+                          int segments) {
+  GNNHLS_CHECK(a.cols() == 1, "segment_softmax: input must be [k,1]");
+  GNNHLS_CHECK_EQ(static_cast<int>(idx.size()), a.rows(),
+                  "segment_softmax: one index per row required");
+  std::vector<float> seg_max(static_cast<std::size_t>(segments),
+                             -std::numeric_limits<float>::infinity());
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    seg_max[idx[i]] = std::max(seg_max[idx[i]],
+                               a.value()(static_cast<int>(i), 0));
+  }
+  std::vector<float> seg_sum(static_cast<std::size_t>(segments), 0.0F);
+  Matrix out(a.rows(), 1);
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    const float e =
+        std::exp(a.value()(static_cast<int>(i), 0) - seg_max[idx[i]]);
+    out(static_cast<int>(i), 0) = e;
+    seg_sum[idx[i]] += e;
+  }
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    out(static_cast<int>(i), 0) /= seg_sum[idx[i]];
+  }
+  const int nsegs = segments;
+  return record(std::move(out), {a}, [a, idx, nsegs](VarNode& n) {
+    if (!a.requires_grad()) return;
+    // d s_i = y_i * (g_i - sum_{j in seg} g_j y_j)
+    std::vector<float> dot(static_cast<std::size_t>(nsegs), 0.0F);
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      dot[idx[i]] +=
+          n.grad(static_cast<int>(i), 0) * n.value(static_cast<int>(i), 0);
+    }
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      const float y = n.value(static_cast<int>(i), 0);
+      a.node()->grad(static_cast<int>(i), 0) +=
+          y * (n.grad(static_cast<int>(i), 0) - dot[idx[i]]);
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Shape ops
+// ---------------------------------------------------------------------------
+
+Var Tape::concat_cols(const std::vector<Var>& parts) {
+  GNNHLS_CHECK(!parts.empty(), "concat_cols: no inputs");
+  const int rows = parts.front().rows();
+  int total = 0;
+  for (const auto& p : parts) {
+    GNNHLS_CHECK_EQ(p.rows(), rows, "concat_cols: row count mismatch");
+    total += p.cols();
+  }
+  Matrix out(rows, total);
+  int offset = 0;
+  for (const auto& p : parts) {
+    for (int i = 0; i < rows; ++i) {
+      std::copy(p.value().row_ptr(i), p.value().row_ptr(i) + p.cols(),
+                out.row_ptr(i) + offset);
+    }
+    offset += p.cols();
+  }
+  return record(std::move(out), parts, [parts](VarNode& n) {
+    int off = 0;
+    for (const auto& p : parts) {
+      if (p.requires_grad()) {
+        for (int i = 0; i < n.grad.rows(); ++i) {
+          const float* g = n.grad.row_ptr(i) + off;
+          float* gp = p.node()->grad.row_ptr(i);
+          for (int j = 0; j < p.cols(); ++j) gp[j] += g[j];
+        }
+      }
+      off += p.cols();
+    }
+  });
+}
+
+Var Tape::slice_cols(const Var& a, int begin, int end) {
+  GNNHLS_CHECK(0 <= begin && begin < end && end <= a.cols(),
+               "slice_cols: bad range");
+  Matrix out(a.rows(), end - begin);
+  for (int i = 0; i < a.rows(); ++i) {
+    std::copy(a.value().row_ptr(i) + begin, a.value().row_ptr(i) + end,
+              out.row_ptr(i));
+  }
+  return record(std::move(out), {a}, [a, begin](VarNode& n) {
+    if (!a.requires_grad()) return;
+    for (int i = 0; i < n.grad.rows(); ++i) {
+      const float* g = n.grad.row_ptr(i);
+      float* ga = a.node()->grad.row_ptr(i) + begin;
+      for (int j = 0; j < n.grad.cols(); ++j) ga[j] += g[j];
+    }
+  });
+}
+
+Var Tape::sum_rows(const Var& a) {
+  Matrix out(1, a.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    const float* row = a.value().row_ptr(i);
+    for (int j = 0; j < a.cols(); ++j) out(0, j) += row[j];
+  }
+  return record(std::move(out), {a}, [a](VarNode& n) {
+    if (!a.requires_grad()) return;
+    for (int i = 0; i < a.rows(); ++i) {
+      float* ga = a.node()->grad.row_ptr(i);
+      const float* g = n.grad.row_ptr(0);
+      for (int j = 0; j < n.grad.cols(); ++j) ga[j] += g[j];
+    }
+  });
+}
+
+Var Tape::mean_rows(const Var& a) {
+  GNNHLS_CHECK(a.rows() > 0, "mean_rows: empty input");
+  return scale(sum_rows(a), 1.0F / static_cast<float>(a.rows()));
+}
+
+Var Tape::sum_all(const Var& a) {
+  Matrix out(1, 1);
+  for (std::size_t i = 0; i < a.value().size(); ++i) {
+    out(0, 0) += a.value().data()[i];
+  }
+  return record(std::move(out), {a}, [a](VarNode& n) {
+    if (!a.requires_grad()) return;
+    const float g = n.grad(0, 0);
+    for (std::size_t i = 0; i < a.value().size(); ++i) {
+      a.node()->grad.data()[i] += g;
+    }
+  });
+}
+
+Var Tape::repeat_row(const Var& a, int n_rows) {
+  GNNHLS_CHECK(a.rows() == 1, "repeat_row: input must be [1,m]");
+  Matrix out(n_rows, a.cols());
+  for (int i = 0; i < n_rows; ++i) {
+    std::copy(a.value().row_ptr(0), a.value().row_ptr(0) + a.cols(),
+              out.row_ptr(i));
+  }
+  return record(std::move(out), {a}, [a](VarNode& n) {
+    if (!a.requires_grad()) return;
+    float* ga = a.node()->grad.row_ptr(0);
+    for (int i = 0; i < n.grad.rows(); ++i) {
+      const float* g = n.grad.row_ptr(i);
+      for (int j = 0; j < n.grad.cols(); ++j) ga[j] += g[j];
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Regularization & losses
+// ---------------------------------------------------------------------------
+
+Var Tape::dropout(const Var& a, float p, Rng& rng, bool training) {
+  if (!training || p <= 0.0F) return a;
+  GNNHLS_CHECK(p < 1.0F, "dropout: p must be < 1");
+  const float keep = 1.0F - p;
+  std::vector<float> mask(a.value().size());
+  for (auto& m : mask) m = rng.bernoulli(keep) ? 1.0F / keep : 0.0F;
+  Matrix out = a.value();
+  for (std::size_t i = 0; i < out.size(); ++i) out.data()[i] *= mask[i];
+  return record(std::move(out), {a}, [a, mask](VarNode& n) {
+    if (!a.requires_grad()) return;
+    for (std::size_t i = 0; i < n.grad.size(); ++i) {
+      a.node()->grad.data()[i] += n.grad.data()[i] * mask[i];
+    }
+  });
+}
+
+Var Tape::mse_loss(const Var& pred, const Matrix& target) {
+  GNNHLS_CHECK(pred.value().same_shape(target), "mse_loss: shape mismatch");
+  const float inv = 1.0F / static_cast<float>(pred.value().size());
+  Matrix out(1, 1);
+  for (std::size_t i = 0; i < pred.value().size(); ++i) {
+    const float d = pred.value().data()[i] - target.data()[i];
+    out(0, 0) += d * d * inv;
+  }
+  return record(std::move(out), {pred}, [pred, target, inv](VarNode& n) {
+    if (!pred.requires_grad()) return;
+    const float g = n.grad(0, 0);
+    for (std::size_t i = 0; i < pred.value().size(); ++i) {
+      const float d = pred.value().data()[i] - target.data()[i];
+      pred.node()->grad.data()[i] += 2.0F * d * inv * g;
+    }
+  });
+}
+
+Var Tape::bce_with_logits_loss(const Var& logits, const Matrix& targets) {
+  GNNHLS_CHECK(logits.value().same_shape(targets),
+               "bce_with_logits_loss: shape mismatch");
+  const float inv = 1.0F / static_cast<float>(logits.value().size());
+  Matrix out(1, 1);
+  for (std::size_t i = 0; i < logits.value().size(); ++i) {
+    const float x = logits.value().data()[i];
+    const float z = targets.data()[i];
+    // max(x,0) - x*z + log(1+exp(-|x|))  (numerically stable form)
+    out(0, 0) += (std::max(x, 0.0F) - x * z +
+                  std::log1p(std::exp(-std::abs(x)))) *
+                 inv;
+  }
+  return record(std::move(out), {logits}, [logits, targets, inv](VarNode& n) {
+    if (!logits.requires_grad()) return;
+    const float g = n.grad(0, 0);
+    for (std::size_t i = 0; i < logits.value().size(); ++i) {
+      const float x = logits.value().data()[i];
+      const float z = targets.data()[i];
+      const float sig = 1.0F / (1.0F + std::exp(-x));
+      logits.node()->grad.data()[i] += (sig - z) * inv * g;
+    }
+  });
+}
+
+}  // namespace gnnhls

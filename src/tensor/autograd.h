@@ -1,0 +1,125 @@
+// Reverse-mode automatic differentiation over dense matrices.
+//
+// A Tape records every operation in creation order (which is a topological
+// order, since an op can only consume previously created Vars); backward()
+// walks it in reverse. Parameters are persistent leaf VarNodes owned by nn
+// modules — their gradients accumulate across forward passes until the
+// optimizer zeroes them, so minibatching over graphs is a plain
+// gradient-accumulation loop.
+//
+// Graph structure enters through four index-based ops: gather_rows (edge
+// source lookup), scatter_add_rows (message aggregation), the segment_*
+// reductions (per-destination mean/max/min) and segment_softmax (attention).
+// Everything a GNN layer needs is a composition of these and the dense ops.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "support/rng.h"
+#include "tensor/matrix.h"
+
+namespace gnnhls {
+
+struct VarNode {
+  Matrix value;
+  Matrix grad;  // allocated iff requires_grad
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<VarNode>> parents;
+  /// Reads this node's grad and accumulates into parents' grads.
+  std::function<void(VarNode&)> backprop;
+};
+
+/// Value-semantics handle to a VarNode (cheap to copy).
+class Var {
+ public:
+  Var() = default;
+  explicit Var(std::shared_ptr<VarNode> node) : node_(std::move(node)) {}
+
+  bool valid() const { return node_ != nullptr; }
+  const Matrix& value() const { return node_->value; }
+  const Matrix& grad() const { return node_->grad; }
+  bool requires_grad() const { return node_->requires_grad; }
+  int rows() const { return node_->value.rows(); }
+  int cols() const { return node_->value.cols(); }
+  const std::shared_ptr<VarNode>& node() const { return node_; }
+
+ private:
+  std::shared_ptr<VarNode> node_;
+};
+
+/// Creates a persistent leaf (used by nn::Parameter). Not tied to any tape.
+Var make_leaf(Matrix value, bool requires_grad);
+
+class Tape {
+ public:
+  /// Tape-scoped constant/input leaf.
+  Var leaf(Matrix value, bool requires_grad = false);
+
+  /// Re-registers a persistent leaf (parameter) so backward can reach it.
+  /// (Parameters need no registration — backward reaches them as parents —
+  /// but this keeps them alive for the tape's lifetime.)
+  Var use(const Var& v);
+
+  // ----- dense ops -----
+  Var matmul(const Var& a, const Var& b);
+  Var add(const Var& a, const Var& b);
+  Var sub(const Var& a, const Var& b);
+  Var mul(const Var& a, const Var& b);  // elementwise
+  /// out[i,j] = a[i,j] * b[i,0]  (column-broadcast multiply).
+  Var mul_col_broadcast(const Var& a, const Var& b);
+  /// out[i,j] = a[i,j] + bias[0,j].
+  Var add_row_bias(const Var& a, const Var& bias);
+  /// out = alpha * a + beta (elementwise affine with scalars).
+  Var affine(const Var& a, float alpha, float beta);
+  Var scale(const Var& a, float s) { return affine(a, s, 0.0F); }
+  /// out[i,:] = a[i,:] * coeff[i] with constant coefficients (no grad to coeff).
+  Var scale_rows(const Var& a, const std::vector<float>& coeff);
+
+  // ----- nonlinearities -----
+  Var relu(const Var& a);
+  Var leaky_relu(const Var& a, float slope);
+  Var sigmoid(const Var& a);
+  Var tanh_act(const Var& a);
+  /// out = sqrt(max(a, 0) + eps); used for PNA's std aggregator.
+  Var sqrt_eps(const Var& a, float eps);
+
+  // ----- structure ops -----
+  Var gather_rows(const Var& a, const std::vector<int>& idx);
+  Var scatter_add_rows(const Var& a, const std::vector<int>& idx, int out_rows);
+  Var segment_mean(const Var& a, const std::vector<int>& idx, int segments);
+  Var segment_max(const Var& a, const std::vector<int>& idx, int segments);
+  Var segment_min(const Var& a, const std::vector<int>& idx, int segments);
+  /// Softmax over the entries of each segment; a must be [k,1].
+  Var segment_softmax(const Var& a, const std::vector<int>& idx, int segments);
+
+  // ----- shape ops -----
+  Var concat_cols(const std::vector<Var>& parts);
+  Var slice_cols(const Var& a, int begin, int end);
+  Var sum_rows(const Var& a);   // [n,m] -> [1,m]
+  Var mean_rows(const Var& a);  // [n,m] -> [1,m]
+  Var sum_all(const Var& a);    // [n,m] -> [1,1]
+  /// Broadcasts a [1,m] row to [n,m]; backward sums.
+  Var repeat_row(const Var& a, int n);
+
+  // ----- regularization & losses -----
+  Var dropout(const Var& a, float p, Rng& rng, bool training);
+  /// Mean squared error against a constant target; returns [1,1].
+  Var mse_loss(const Var& pred, const Matrix& target);
+  /// Numerically stable binary cross-entropy on logits; returns [1,1].
+  Var bce_with_logits_loss(const Var& logits, const Matrix& targets);
+
+  /// Seeds d(loss)/d(loss)=1 and runs the reverse sweep. loss must be [1,1].
+  void backward(const Var& loss);
+
+  std::size_t size() const { return ops_.size(); }
+
+ private:
+  Var record(Matrix value, std::vector<Var> parents,
+             std::function<void(VarNode&)> backprop);
+
+  std::vector<std::shared_ptr<VarNode>> ops_;
+};
+
+}  // namespace gnnhls

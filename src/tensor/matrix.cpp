@@ -1,0 +1,85 @@
+#include "tensor/matrix.h"
+
+#include <algorithm>
+
+namespace gnnhls {
+
+Matrix Matrix::randn(int rows, int cols, Rng& rng, float stddev) {
+  Matrix m(rows, cols);
+  for (auto& v : m.data_) v = rng.normal(0.0F, stddev);
+  return m;
+}
+
+Matrix Matrix::column(const std::vector<float>& values) {
+  Matrix m(static_cast<int>(values.size()), 1);
+  std::copy(values.begin(), values.end(), m.data_.begin());
+  return m;
+}
+
+void Matrix::add_inplace(const Matrix& other) {
+  GNNHLS_CHECK(same_shape(other), "add_inplace: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::add_scaled_inplace(const Matrix& other, float alpha) {
+  GNNHLS_CHECK(same_shape(other), "add_scaled_inplace: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += alpha * other.data_[i];
+  }
+}
+
+double Matrix::squared_norm() const {
+  double s = 0.0;
+  for (float v : data_) s += static_cast<double>(v) * v;
+  return s;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  GNNHLS_CHECK_EQ(a.cols(), b.rows(), "matmul: inner dimension mismatch");
+  Matrix out(a.rows(), b.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    const float* arow = a.row_ptr(i);
+    float* orow = out.row_ptr(i);
+    for (int k = 0; k < a.cols(); ++k) {
+      const float aik = arow[k];
+      if (aik == 0.0F) continue;
+      const float* brow = b.row_ptr(k);
+      for (int j = 0; j < b.cols(); ++j) orow[j] += aik * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix matmul_transpose_a(const Matrix& a, const Matrix& b) {
+  GNNHLS_CHECK_EQ(a.rows(), b.rows(), "matmul_transpose_a: dimension mismatch");
+  Matrix out(a.cols(), b.cols());
+  for (int k = 0; k < a.rows(); ++k) {
+    const float* arow = a.row_ptr(k);
+    const float* brow = b.row_ptr(k);
+    for (int i = 0; i < a.cols(); ++i) {
+      const float aki = arow[i];
+      if (aki == 0.0F) continue;
+      float* orow = out.row_ptr(i);
+      for (int j = 0; j < b.cols(); ++j) orow[j] += aki * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix matmul_transpose_b(const Matrix& a, const Matrix& b) {
+  GNNHLS_CHECK_EQ(a.cols(), b.cols(), "matmul_transpose_b: dimension mismatch");
+  Matrix out(a.rows(), b.rows());
+  for (int i = 0; i < a.rows(); ++i) {
+    const float* arow = a.row_ptr(i);
+    float* orow = out.row_ptr(i);
+    for (int j = 0; j < b.rows(); ++j) {
+      const float* brow = b.row_ptr(j);
+      float acc = 0.0F;
+      for (int k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
+      orow[j] += acc;
+    }
+  }
+  return out;
+}
+
+}  // namespace gnnhls

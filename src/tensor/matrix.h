@@ -1,0 +1,86 @@
+// Dense row-major float matrix — the only numeric container in the library.
+//
+// Node features, messages, weights and gradients are all [rows, cols]
+// matrices; graph structure enters through the gather/scatter ops in
+// autograd.h rather than through sparse matrix types.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace gnnhls {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols, float fill = 0.0F)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+              fill) {
+    GNNHLS_CHECK(rows >= 0 && cols >= 0, "negative matrix dimension");
+  }
+
+  static Matrix zeros(int rows, int cols) { return Matrix(rows, cols, 0.0F); }
+
+  /// Gaussian init with the given stddev (used by nn layer initializers).
+  static Matrix randn(int rows, int cols, Rng& rng, float stddev = 1.0F);
+
+  /// Builds a [n,1] column from a std::vector.
+  static Matrix column(const std::vector<float>& values);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& at(int r, int c) {
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+  float at(int r, int c) const {
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+  float& operator()(int r, int c) { return at(r, c); }
+  float operator()(int r, int c) const { return at(r, c); }
+
+  float* row_ptr(int r) { return data_.data() + static_cast<std::size_t>(r) * cols_; }
+  const float* row_ptr(int r) const {
+    return data_.data() + static_cast<std::size_t>(r) * cols_;
+  }
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  bool same_shape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  void fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// In-place accumulate: *this += other (shapes must match).
+  void add_inplace(const Matrix& other);
+  /// In-place accumulate with scale: *this += alpha * other.
+  void add_scaled_inplace(const Matrix& other, float alpha);
+
+  /// Squared Frobenius norm; used by gradient-norm diagnostics.
+  double squared_norm() const;
+
+  bool operator==(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ && data_ == other.data_;
+  }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// out = a * b. Naive but cache-friendly (i-k-j order).
+Matrix matmul(const Matrix& a, const Matrix& b);
+/// out = a^T * b (avoids materializing the transpose).
+Matrix matmul_transpose_a(const Matrix& a, const Matrix& b);
+/// out = a * b^T.
+Matrix matmul_transpose_b(const Matrix& a, const Matrix& b);
+
+}  // namespace gnnhls

@@ -1,0 +1,140 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "dataset/dataset.h"
+
+namespace gnnhls {
+namespace {
+
+TEST(MetricTest, NamesAndAccessors) {
+  QualityOfResult q{3.0, 450.0, 220.0, 7.5};
+  EXPECT_EQ(metric_of(q, Metric::kDsp), 3.0);
+  EXPECT_EQ(metric_of(q, Metric::kLut), 450.0);
+  EXPECT_EQ(metric_of(q, Metric::kFf), 220.0);
+  EXPECT_EQ(metric_of(q, Metric::kCp), 7.5);
+  EXPECT_EQ(metric_name(Metric::kDsp), "DSP");
+  EXPECT_EQ(metric_name(Metric::kCp), "CP");
+}
+
+class TargetTransformTest : public ::testing::TestWithParam<Metric> {};
+
+TEST_P(TargetTransformTest, EncodeDecodeRoundTrip) {
+  for (double v : {0.0, 1.0, 7.0, 123.0, 4096.0}) {
+    const float e = encode_target(v, GetParam());
+    EXPECT_NEAR(decode_target(e, GetParam()), v, std::max(v * 1e-4, 1e-4));
+  }
+}
+
+TEST_P(TargetTransformTest, MonotoneInValue) {
+  float prev = -1e9F;
+  for (double v : {0.0, 2.0, 10.0, 100.0, 1000.0}) {
+    const float e = encode_target(v, GetParam());
+    EXPECT_GT(e, prev);
+    prev = e;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMetrics, TargetTransformTest,
+                         ::testing::ValuesIn(kAllMetrics),
+                         [](const ::testing::TestParamInfo<Metric>& info) {
+                           return metric_name(info.param);
+                         });
+
+TEST(TargetTransformTest, NegativeRejected) {
+  EXPECT_THROW(encode_target(-1.0, Metric::kLut), std::invalid_argument);
+}
+
+TEST(SplitTest, ProportionsAndDisjointness) {
+  const SplitIndices s = split_80_10_10(200, 42);
+  EXPECT_EQ(s.test.size(), 20U);
+  EXPECT_EQ(s.val.size(), 20U);
+  EXPECT_EQ(s.train.size(), 160U);
+  std::set<int> seen;
+  for (int i : s.train) seen.insert(i);
+  for (int i : s.val) EXPECT_EQ(seen.count(i), 0U);
+  for (int i : s.val) seen.insert(i);
+  for (int i : s.test) EXPECT_EQ(seen.count(i), 0U);
+  for (int i : s.test) seen.insert(i);
+  EXPECT_EQ(seen.size(), 200U);
+}
+
+TEST(SplitTest, DeterministicInSeed) {
+  const SplitIndices a = split_80_10_10(100, 7);
+  const SplitIndices b = split_80_10_10(100, 7);
+  EXPECT_EQ(a.train, b.train);
+  EXPECT_EQ(a.test, b.test);
+  const SplitIndices c = split_80_10_10(100, 8);
+  EXPECT_NE(a.train, c.train);
+}
+
+TEST(SplitTest, TooSmallRejected) {
+  EXPECT_THROW(split_80_10_10(5, 1), std::invalid_argument);
+}
+
+TEST(DatasetTest, SyntheticDfgDataset) {
+  SyntheticDatasetConfig cfg;
+  cfg.kind = GraphKind::kDfg;
+  cfg.num_graphs = 12;
+  cfg.seed = 99;
+  const auto samples = build_synthetic_dataset(cfg);
+  ASSERT_EQ(samples.size(), 12U);
+  for (const auto& s : samples) {
+    EXPECT_EQ(s.graph().kind(), GraphKind::kDfg);
+    EXPECT_GT(s.graph().num_nodes(), 0);
+    EXPECT_GT(s.truth.lut, 0.0);
+    EXPECT_GT(s.truth.cp_ns, 0.0);
+    EXPECT_GT(s.hls_report.lut, 0.0);
+    EXPECT_EQ(s.tensors.num_nodes, s.graph().num_nodes());
+  }
+  EXPECT_EQ(samples[3].origin, "synthetic-dfg/3");
+}
+
+TEST(DatasetTest, SyntheticCdfgDatasetHasBackEdges) {
+  SyntheticDatasetConfig cfg;
+  cfg.kind = GraphKind::kCdfg;
+  cfg.num_graphs = 8;
+  cfg.seed = 5;
+  const auto samples = build_synthetic_dataset(cfg);
+  int with_back_edges = 0;
+  for (const auto& s : samples) {
+    EXPECT_EQ(s.graph().kind(), GraphKind::kCdfg);
+    if (s.graph().count_back_edges() > 0) ++with_back_edges;
+  }
+  EXPECT_EQ(with_back_edges, 8);
+}
+
+TEST(DatasetTest, DeterministicInSeed) {
+  SyntheticDatasetConfig cfg;
+  cfg.kind = GraphKind::kDfg;
+  cfg.num_graphs = 5;
+  cfg.seed = 31;
+  const auto a = build_synthetic_dataset(cfg);
+  const auto b = build_synthetic_dataset(cfg);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].graph().num_nodes(), b[i].graph().num_nodes());
+    EXPECT_EQ(a[i].truth.lut, b[i].truth.lut);
+    EXPECT_EQ(a[i].truth.cp_ns, b[i].truth.cp_ns);
+  }
+}
+
+TEST(DatasetTest, StatsAggregation) {
+  SyntheticDatasetConfig cfg;
+  cfg.kind = GraphKind::kDfg;
+  cfg.num_graphs = 10;
+  const auto samples = build_synthetic_dataset(cfg);
+  const DatasetStats st = compute_stats(samples);
+  EXPECT_EQ(st.graphs, 10);
+  EXPECT_GT(st.avg_nodes, 1.0);
+  EXPECT_GE(st.max_nodes, static_cast<int>(st.avg_nodes));
+  EXPECT_GT(st.avg_metric[1], 0.0);  // LUT
+  EXPECT_EQ(st.total_nodes > 0, true);
+}
+
+TEST(DatasetTest, AllIndicesHelper) {
+  const auto idx = all_indices(4);
+  EXPECT_EQ(idx, (std::vector<int>{0, 1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace gnnhls

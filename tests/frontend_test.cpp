@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include "frontend/lower.h"
+
+namespace gnnhls {
+namespace {
+
+/// out = in0 * in1 + 5
+Function simple_dfg_function() {
+  Function f;
+  f.name = "mac";
+  f.params.push_back(Param{"in0", ScalarType{32, true}, 0, false});
+  f.params.push_back(Param{"in1", ScalarType{32, true}, 0, false});
+  f.body.push_back(decl("t", ScalarType{32, true},
+                        bin(BinOpKind::kMul, var("in0"), var("in1"))));
+  f.body.push_back(decl("u", ScalarType{32, true},
+                        bin(BinOpKind::kAdd, var("t"), lit(5))));
+  f.body.push_back(ret(var("u")));
+  return f;
+}
+
+/// acc = 0; for (i = 0; i < 10; ++i) acc = acc + in0; return acc;
+Function simple_loop_function() {
+  Function f;
+  f.name = "accum";
+  f.params.push_back(Param{"in0", ScalarType{32, true}, 0, false});
+  f.body.push_back(decl("acc", ScalarType{32, true}, lit(0)));
+  std::vector<StmtPtr> body;
+  body.push_back(assign("acc", bin(BinOpKind::kAdd, var("acc"), var("in0"))));
+  f.body.push_back(for_stmt("i", 0, 10, 1, std::move(body)));
+  f.body.push_back(ret(var("acc")));
+  return f;
+}
+
+Function branch_function() {
+  Function f;
+  f.name = "branchy";
+  f.params.push_back(Param{"in0", ScalarType{32, true}, 0, false});
+  f.body.push_back(decl("x", ScalarType{32, true}, lit(1)));
+  std::vector<StmtPtr> then_body, else_body;
+  then_body.push_back(assign("x", bin(BinOpKind::kAdd, var("x"), var("in0"))));
+  else_body.push_back(assign("x", bin(BinOpKind::kMul, var("x"), lit(3))));
+  f.body.push_back(if_stmt(bin(BinOpKind::kGt, var("in0"), lit(0)),
+                           std::move(then_body), std::move(else_body)));
+  f.body.push_back(ret(var("x")));
+  return f;
+}
+
+int count_opcode(const IrGraph& g, Opcode op) {
+  int n = 0;
+  for (const auto& node : g.nodes()) {
+    if (node.opcode == op) ++n;
+  }
+  return n;
+}
+
+TEST(LowerDfgTest, ProducesAcyclicDataflow) {
+  const Function f = simple_dfg_function();
+  const LoweredProgram p = lower_to_dfg(f);
+  EXPECT_EQ(p.graph.kind(), GraphKind::kDfg);
+  EXPECT_TRUE(p.graph.forward_edges_acyclic());
+  EXPECT_EQ(p.graph.count_back_edges(), 0);
+  EXPECT_EQ(count_opcode(p.graph, Opcode::kMul), 1);
+  EXPECT_EQ(count_opcode(p.graph, Opcode::kAdd), 1);
+  EXPECT_EQ(count_opcode(p.graph, Opcode::kReadPort), 2);
+  EXPECT_EQ(count_opcode(p.graph, Opcode::kWritePort), 1);
+  EXPECT_EQ(static_cast<int>(p.blocks.size()), 1);
+}
+
+TEST(LowerDfgTest, StartOfPathOnSources) {
+  const LoweredProgram p = lower_to_dfg(simple_dfg_function());
+  for (int i = 0; i < p.graph.num_nodes(); ++i) {
+    const IrNode& n = p.graph.node(i);
+    if (n.opcode == Opcode::kReadPort || n.opcode == Opcode::kConst) {
+      EXPECT_TRUE(n.is_start_of_path) << "node " << i;
+    }
+    if (n.opcode == Opcode::kMul) EXPECT_FALSE(n.is_start_of_path);
+  }
+}
+
+TEST(LowerDfgTest, ConstantsAreShared) {
+  Function f;
+  f.params.push_back(Param{"a", ScalarType{32, true}, 0, false});
+  // 7 used twice -> one const node.
+  f.body.push_back(decl("x", ScalarType{32, true},
+                        bin(BinOpKind::kAdd, var("a"), lit(7))));
+  f.body.push_back(decl("y", ScalarType{32, true},
+                        bin(BinOpKind::kMul, var("x"), lit(7))));
+  f.body.push_back(ret(var("y")));
+  const LoweredProgram p = lower_to_dfg(f);
+  EXPECT_EQ(count_opcode(p.graph, Opcode::kConst), 1);
+}
+
+TEST(LowerDfgTest, RejectsControlFlow) {
+  EXPECT_THROW(lower_to_dfg(simple_loop_function()), std::invalid_argument);
+}
+
+TEST(LowerDfgTest, ClusterGroupIsDepthBucket) {
+  const LoweredProgram p = lower_to_dfg(simple_dfg_function());
+  int max_cluster = 0;
+  for (const auto& n : p.graph.nodes()) {
+    max_cluster = std::max(max_cluster, n.cluster_group);
+  }
+  // mul -> add -> write port gives depth >= 2 somewhere.
+  EXPECT_GE(max_cluster, 2);
+}
+
+TEST(LowerCdfgTest, LoopCreatesBackEdgesAndPhis) {
+  const LoweredProgram p = lower_to_cdfg(simple_loop_function());
+  EXPECT_EQ(p.graph.kind(), GraphKind::kCdfg);
+  EXPECT_GE(p.graph.count_back_edges(), 2);  // control latch + carried acc/i
+  EXPECT_GE(count_opcode(p.graph, Opcode::kPhi), 2);  // acc and i
+  EXPECT_GE(count_opcode(p.graph, Opcode::kBlock), 4);
+  EXPECT_TRUE(p.graph.forward_edges_acyclic());
+}
+
+TEST(LowerCdfgTest, LoopBlocksCarryTripCounts) {
+  const LoweredProgram p = lower_to_cdfg(simple_loop_function());
+  bool found_body = false;
+  for (const auto& b : p.blocks) {
+    if (b.loop_depth == 1 && !b.is_loop_header && b.exec_count >= 10.0) {
+      found_body = true;
+    }
+  }
+  EXPECT_TRUE(found_body);
+}
+
+TEST(LowerCdfgTest, BranchCreatesMergePhi) {
+  const LoweredProgram p = lower_to_cdfg(branch_function());
+  EXPECT_EQ(count_opcode(p.graph, Opcode::kPhi), 1);
+  EXPECT_GE(count_opcode(p.graph, Opcode::kBr), 3);  // cond + two merges
+  EXPECT_EQ(p.graph.count_back_edges(), 0);  // no loop
+  EXPECT_TRUE(p.graph.forward_edges_acyclic());
+}
+
+TEST(LowerCdfgTest, ControlEdgesLinkBlocks) {
+  const LoweredProgram p = lower_to_cdfg(branch_function());
+  int control_edges = 0;
+  for (const auto& e : p.graph.edges()) {
+    if (e.type == EdgeType::kControl) ++control_edges;
+  }
+  EXPECT_GE(control_edges, 6);
+}
+
+TEST(LowerCdfgTest, ArrayAccessesGetMemoryEdges) {
+  Function f;
+  f.params.push_back(Param{"in0", ScalarType{32, true}, 0, false});
+  f.body.push_back(decl_array("buf", ScalarType{32, true}, 16));
+  std::vector<StmtPtr> body;
+  body.push_back(assign_array("buf", bin(BinOpKind::kAnd, var("i"), lit(15)),
+                              var("i")));
+  body.push_back(decl("r", ScalarType{32, true},
+                      aref("buf", bin(BinOpKind::kAnd, var("in0"), lit(15)))));
+  f.body.push_back(for_stmt("i", 0, 16, 1, std::move(body)));
+  f.body.push_back(ret(var("in0")));
+  const LoweredProgram p = lower_to_cdfg(f);
+  int memory_edges = 0;
+  for (const auto& e : p.graph.edges()) {
+    if (e.type == EdgeType::kMemory) ++memory_edges;
+  }
+  EXPECT_GE(memory_edges, 1);
+  EXPECT_GE(count_opcode(p.graph, Opcode::kLoad), 1);
+  EXPECT_GE(count_opcode(p.graph, Opcode::kStore), 1);
+  EXPECT_EQ(count_opcode(p.graph, Opcode::kAlloca), 1);
+}
+
+TEST(LowerCdfgTest, StraightLineBodyYieldsSingleBlockCdfg) {
+  const LoweredProgram p = lower_to_cdfg(simple_dfg_function());
+  EXPECT_EQ(static_cast<int>(p.blocks.size()), 1);
+  EXPECT_EQ(count_opcode(p.graph, Opcode::kBlock), 1);
+}
+
+TEST(LowerDispatchTest, PicksKindFromControlFlow) {
+  EXPECT_EQ(lower(simple_dfg_function()).graph.kind(), GraphKind::kDfg);
+  EXPECT_EQ(lower(simple_loop_function()).graph.kind(), GraphKind::kCdfg);
+}
+
+TEST(LowerTest, UndefinedVariableThrows) {
+  Function f;
+  f.body.push_back(ret(var("nope")));
+  EXPECT_THROW(lower_to_dfg(f), std::invalid_argument);
+}
+
+TEST(LowerTest, UndefinedArrayThrows) {
+  Function f;
+  f.body.push_back(decl("x", ScalarType{32, true}, aref("ghost", lit(0))));
+  EXPECT_THROW(lower_to_dfg(f), std::invalid_argument);
+}
+
+TEST(AstTest, TripCountArithmetic) {
+  const auto s = for_stmt("i", 0, 10, 3, {});
+  EXPECT_EQ(s->trip_count(), 4);  // 0,3,6,9
+  const auto s2 = for_stmt("i", 5, 5, 1, {});
+  EXPECT_EQ(s2->trip_count(), 0);
+}
+
+TEST(AstTest, CloneIsDeep) {
+  ExprPtr e = bin(BinOpKind::kAdd, var("a"), lit(3));
+  ExprPtr c = e->clone();
+  e->children[0]->name = "changed";
+  EXPECT_EQ(c->children[0]->name, "a");
+}
+
+}  // namespace
+}  // namespace gnnhls

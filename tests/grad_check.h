@@ -1,0 +1,46 @@
+// Finite-difference gradient checking utility for autograd tests.
+#pragma once
+
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "tensor/autograd.h"
+
+namespace gnnhls::testing {
+
+/// Builds a scalar loss from `leaf` via `fn` and compares the autograd
+/// gradient of every entry of `leaf` against central finite differences.
+inline void expect_gradient_matches(
+    Matrix input, const std::function<Var(Tape&, const Var&)>& fn,
+    float h = 1e-2F, float tol = 2e-2F) {
+  Var leaf = make_leaf(input, /*requires_grad=*/true);
+  Tape tape;
+  Var loss = fn(tape, leaf);
+  ASSERT_EQ(loss.rows(), 1);
+  ASSERT_EQ(loss.cols(), 1);
+  tape.backward(loss);
+  const Matrix analytic = leaf.grad();
+
+  for (int r = 0; r < input.rows(); ++r) {
+    for (int c = 0; c < input.cols(); ++c) {
+      const float saved = input(r, c);
+
+      input(r, c) = saved + h;
+      Tape tp;
+      const float up = fn(tp, make_leaf(input, false)).value()(0, 0);
+      input(r, c) = saved - h;
+      Tape tm;
+      const float down = fn(tm, make_leaf(input, false)).value()(0, 0);
+      input(r, c) = saved;
+
+      const float numeric = (up - down) / (2.0F * h);
+      EXPECT_NEAR(analytic(r, c), numeric,
+                  tol * std::max(1.0F, std::abs(numeric)))
+          << "entry (" << r << "," << c << ")";
+    }
+  }
+}
+
+}  // namespace gnnhls::testing

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "graph/ir_graph.h"
+
+namespace gnnhls {
+namespace {
+
+IrNode op_node(Opcode op, int bits = 32) {
+  IrNode n;
+  n.opcode = op;
+  n.bitwidth = bits;
+  return n;
+}
+
+TEST(OpcodeTest, CategoriesMatchPaperGroups) {
+  EXPECT_EQ(category_of(Opcode::kAdd), OpcodeCategory::kBinaryUnary);
+  EXPECT_EQ(category_of(Opcode::kXor), OpcodeCategory::kBitwise);
+  EXPECT_EQ(category_of(Opcode::kLoad), OpcodeCategory::kMemory);
+  EXPECT_EQ(category_of(Opcode::kBr), OpcodeCategory::kControl);
+  EXPECT_EQ(category_of(Opcode::kICmp), OpcodeCategory::kComparison);
+}
+
+TEST(OpcodeTest, EveryOpcodeHasNameAndCategory) {
+  for (int i = 0; i < kNumOpcodes; ++i) {
+    const auto op = static_cast<Opcode>(i);
+    EXPECT_FALSE(opcode_name(op).empty());
+    EXPECT_LT(static_cast<int>(category_of(op)), kNumOpcodeCategories);
+  }
+}
+
+TEST(OpcodeTest, DatapathClassification) {
+  EXPECT_TRUE(is_datapath_op(Opcode::kMul));
+  EXPECT_TRUE(is_datapath_op(Opcode::kLoad));
+  EXPECT_FALSE(is_datapath_op(Opcode::kBr));
+  EXPECT_FALSE(is_datapath_op(Opcode::kConst));
+  EXPECT_FALSE(is_datapath_op(Opcode::kBlock));
+}
+
+TEST(IrGraphTest, FinalizeComputesStartOfPath) {
+  IrGraph g(GraphKind::kDfg);
+  const int a = g.add_node(op_node(Opcode::kConst));
+  const int b = g.add_node(op_node(Opcode::kAdd));
+  const int c = g.add_node(op_node(Opcode::kMul));
+  g.add_edge(a, b, EdgeType::kData);
+  g.add_edge(b, c, EdgeType::kData);
+  g.finalize();
+  EXPECT_TRUE(g.node(a).is_start_of_path);
+  EXPECT_FALSE(g.node(b).is_start_of_path);
+  EXPECT_FALSE(g.node(c).is_start_of_path);
+}
+
+TEST(IrGraphTest, DfgRejectsBackEdgesAndControlEdges) {
+  IrGraph g(GraphKind::kDfg);
+  const int a = g.add_node(op_node(Opcode::kAdd));
+  const int b = g.add_node(op_node(Opcode::kMul));
+  EXPECT_THROW(g.add_edge(a, b, EdgeType::kData, /*back=*/true),
+               std::invalid_argument);
+  EXPECT_THROW(g.add_edge(a, b, EdgeType::kControl), std::invalid_argument);
+}
+
+TEST(IrGraphTest, CdfgBackEdgeBreaksCycle) {
+  IrGraph g(GraphKind::kCdfg);
+  const int a = g.add_node(op_node(Opcode::kPhi));
+  const int b = g.add_node(op_node(Opcode::kAdd));
+  g.add_edge(a, b, EdgeType::kData);
+  g.add_edge(b, a, EdgeType::kData, /*back=*/true);
+  g.finalize();
+  EXPECT_EQ(g.count_back_edges(), 1);
+  EXPECT_TRUE(g.forward_edges_acyclic());
+}
+
+TEST(IrGraphTest, UnmarkedCycleRejectedAtFinalize) {
+  IrGraph g(GraphKind::kCdfg);
+  const int a = g.add_node(op_node(Opcode::kAdd));
+  const int b = g.add_node(op_node(Opcode::kAdd));
+  g.add_edge(a, b, EdgeType::kData);
+  g.add_edge(b, a, EdgeType::kData);
+  EXPECT_THROW(g.finalize(), std::invalid_argument);
+}
+
+TEST(IrGraphTest, EdgeIndexValidation) {
+  IrGraph g(GraphKind::kDfg);
+  g.add_node(op_node(Opcode::kAdd));
+  EXPECT_THROW(g.add_edge(0, 1, EdgeType::kData), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(-1, 0, EdgeType::kData), std::invalid_argument);
+}
+
+TEST(IrGraphTest, EmptyGraphRejected) {
+  IrGraph g(GraphKind::kDfg);
+  EXPECT_THROW(g.finalize(), std::invalid_argument);
+}
+
+TEST(IrGraphTest, MutationAfterFinalizeRejected) {
+  IrGraph g(GraphKind::kDfg);
+  g.add_node(op_node(Opcode::kAdd));
+  g.finalize();
+  EXPECT_THROW(g.add_node(op_node(Opcode::kAdd)), std::invalid_argument);
+}
+
+TEST(IrGraphTest, RelationIdEncodesTypeAndBackEdge) {
+  IrGraph g(GraphKind::kCdfg);
+  const int a = g.add_node(op_node(Opcode::kAdd));
+  const int b = g.add_node(op_node(Opcode::kAdd));
+  g.add_edge(a, b, EdgeType::kData);
+  g.add_edge(b, a, EdgeType::kControl, /*back=*/true);
+  g.finalize();
+  EXPECT_EQ(g.edge_relation()[0], static_cast<int>(EdgeType::kData) * 2);
+  EXPECT_EQ(g.edge_relation()[1],
+            static_cast<int>(EdgeType::kControl) * 2 + 1);
+  EXPECT_LT(g.edge_relation()[1], kNumEdgeRelations);
+}
+
+TEST(IrGraphTest, TopologicalOrderRespectsForwardEdges) {
+  IrGraph g(GraphKind::kCdfg);
+  const int a = g.add_node(op_node(Opcode::kConst));
+  const int b = g.add_node(op_node(Opcode::kAdd));
+  const int c = g.add_node(op_node(Opcode::kMul));
+  g.add_edge(a, b, EdgeType::kData);
+  g.add_edge(b, c, EdgeType::kData);
+  g.add_edge(c, b, EdgeType::kData, /*back=*/true);
+  g.finalize();
+  const auto order = g.topological_order();
+  std::vector<int> pos(3);
+  for (int i = 0; i < 3; ++i) pos[static_cast<std::size_t>(order[i])] = i;
+  EXPECT_LT(pos[static_cast<std::size_t>(a)], pos[static_cast<std::size_t>(b)]);
+  EXPECT_LT(pos[static_cast<std::size_t>(b)], pos[static_cast<std::size_t>(c)]);
+}
+
+TEST(IrGraphTest, DegreesCountAllEdges) {
+  IrGraph g(GraphKind::kCdfg);
+  const int a = g.add_node(op_node(Opcode::kConst));
+  const int b = g.add_node(op_node(Opcode::kAdd));
+  g.add_edge(a, b, EdgeType::kData);
+  g.add_edge(a, b, EdgeType::kMemory);
+  g.finalize();
+  EXPECT_EQ(g.out_degree()[static_cast<std::size_t>(a)], 2);
+  EXPECT_EQ(g.in_degree()[static_cast<std::size_t>(b)], 2);
+}
+
+TEST(IrGraphTest, BitwidthRangeEnforced) {
+  IrGraph g(GraphKind::kDfg);
+  IrNode n = op_node(Opcode::kAdd, 300);
+  EXPECT_THROW(g.add_node(n), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gnnhls

@@ -1,0 +1,105 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "frontend/lower.h"
+#include "hls/hls_flow.h"
+#include "progen/progen.h"
+
+namespace gnnhls {
+namespace {
+
+TEST(ProgenDfgTest, DeterministicInSeed) {
+  const Function a = generate_dfg_program(123);
+  const Function b = generate_dfg_program(123);
+  EXPECT_EQ(a.statement_count(), b.statement_count());
+  const LoweredProgram pa = lower_to_dfg(a);
+  const LoweredProgram pb = lower_to_dfg(b);
+  ASSERT_EQ(pa.graph.num_nodes(), pb.graph.num_nodes());
+  ASSERT_EQ(pa.graph.num_edges(), pb.graph.num_edges());
+  for (int i = 0; i < pa.graph.num_nodes(); ++i) {
+    EXPECT_EQ(pa.graph.node(i).opcode, pb.graph.node(i).opcode);
+    EXPECT_EQ(pa.graph.node(i).bitwidth, pb.graph.node(i).bitwidth);
+  }
+}
+
+TEST(ProgenDfgTest, DifferentSeedsProduceDifferentGraphs) {
+  std::set<int> node_counts;
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    node_counts.insert(
+        lower_to_dfg(generate_dfg_program(seed)).graph.num_nodes());
+  }
+  EXPECT_GT(node_counts.size(), 4U);
+}
+
+TEST(ProgenDfgTest, StraightLineOnly) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const Function f = generate_dfg_program(seed);
+    EXPECT_FALSE(f.has_control_flow()) << "seed " << seed;
+  }
+}
+
+class ProgenSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProgenSweep, DfgProgramsLowerAndSynthesize) {
+  const std::uint64_t seed = GetParam();
+  LoweredProgram p = lower_to_dfg(generate_dfg_program(seed));
+  EXPECT_TRUE(p.graph.forward_edges_acyclic());
+  EXPECT_EQ(p.graph.count_back_edges(), 0);
+  const HlsOutcome o = run_hls_flow(p);
+  EXPECT_GT(o.implemented.lut, 0.0) << "seed " << seed;
+  EXPECT_GT(o.implemented.cp_ns, 0.0) << "seed " << seed;
+}
+
+TEST_P(ProgenSweep, CdfgProgramsLowerAndSynthesize) {
+  const std::uint64_t seed = GetParam();
+  const Function f = generate_cdfg_program(seed);
+  EXPECT_TRUE(f.has_control_flow()) << "seed " << seed;
+  LoweredProgram p = lower_to_cdfg(f);
+  EXPECT_TRUE(p.graph.forward_edges_acyclic());
+  EXPECT_GT(p.graph.count_back_edges(), 0) << "seed " << seed;
+  const HlsOutcome o = run_hls_flow(p);
+  EXPECT_GT(o.implemented.lut, 0.0) << "seed " << seed;
+  EXPECT_GT(o.latency_cycles, 0.0) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProgenSweep,
+                         ::testing::Range<std::uint64_t>(0, 50));
+
+TEST(ProgenDfgTest, SizeKnobsRespected) {
+  ProgenConfig cfg;
+  cfg.min_ops = 5;
+  cfg.max_ops = 10;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Function f = generate_dfg_program(seed, cfg);
+    // ops + final return statement
+    EXPECT_LE(f.statement_count(), cfg.max_ops + 1);
+    EXPECT_GE(f.statement_count(), cfg.min_ops);
+  }
+}
+
+TEST(ProgenCdfgTest, LoopDepthBounded) {
+  ProgenConfig cfg;
+  cfg.max_loop_depth = 1;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const LoweredProgram p =
+        lower_to_cdfg(generate_cdfg_program(seed, cfg));
+    for (const auto& b : p.blocks) {
+      EXPECT_LE(b.loop_depth, 2);  // one loop level + header convention
+    }
+  }
+}
+
+TEST(ProgenCdfgTest, GraphSizeVariesAcrossSeeds) {
+  int min_nodes = 1 << 30, max_nodes = 0;
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    const int n =
+        lower_to_cdfg(generate_cdfg_program(seed)).graph.num_nodes();
+    min_nodes = std::min(min_nodes, n);
+    max_nodes = std::max(max_nodes, n);
+  }
+  EXPECT_GT(max_nodes, min_nodes + 10);
+}
+
+}  // namespace
+}  // namespace gnnhls

@@ -1,0 +1,113 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "dataset/serialize.h"
+#include "graph/dot_export.h"
+
+namespace gnnhls {
+namespace {
+
+std::vector<Sample> tiny_dataset(GraphKind kind) {
+  SyntheticDatasetConfig cfg;
+  cfg.kind = kind;
+  cfg.num_graphs = 6;
+  cfg.seed = 5150;
+  return build_synthetic_dataset(cfg);
+}
+
+TEST(SerializeTest, RoundTripPreservesEverything) {
+  const auto samples = tiny_dataset(GraphKind::kCdfg);
+  std::stringstream buffer;
+  write_benchmark(buffer, samples);
+  const auto records = read_benchmark(buffer);
+  ASSERT_EQ(records.size(), samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const IrGraph& a = samples[i].graph();
+    const IrGraph& b = records[i].graph;
+    ASSERT_EQ(a.num_nodes(), b.num_nodes());
+    ASSERT_EQ(a.num_edges(), b.num_edges());
+    EXPECT_EQ(a.kind(), b.kind());
+    EXPECT_EQ(records[i].origin, samples[i].origin);
+    for (int v = 0; v < a.num_nodes(); ++v) {
+      EXPECT_EQ(a.node(v).opcode, b.node(v).opcode);
+      EXPECT_EQ(a.node(v).bitwidth, b.node(v).bitwidth);
+      EXPECT_EQ(a.node(v).cluster_group, b.node(v).cluster_group);
+      EXPECT_EQ(a.node(v).is_start_of_path, b.node(v).is_start_of_path);
+      EXPECT_EQ(a.node(v).resource.uses_dsp, b.node(v).resource.uses_dsp);
+      EXPECT_FLOAT_EQ(a.node(v).resource.lut, b.node(v).resource.lut);
+    }
+    for (int e = 0; e < a.num_edges(); ++e) {
+      EXPECT_EQ(a.edge(e).src, b.edge(e).src);
+      EXPECT_EQ(a.edge(e).dst, b.edge(e).dst);
+      EXPECT_EQ(a.edge(e).type, b.edge(e).type);
+      EXPECT_EQ(a.edge(e).is_back_edge, b.edge(e).is_back_edge);
+    }
+    EXPECT_DOUBLE_EQ(samples[i].truth.lut, records[i].truth.lut);
+    EXPECT_DOUBLE_EQ(samples[i].truth.cp_ns, records[i].truth.cp_ns);
+    EXPECT_DOUBLE_EQ(samples[i].hls_report.ff, records[i].hls_report.ff);
+    // Tensors rebuilt identically.
+    EXPECT_EQ(samples[i].tensors.src, records[i].tensors.src);
+    EXPECT_EQ(samples[i].tensors.relation_edges,
+              records[i].tensors.relation_edges);
+  }
+}
+
+TEST(SerializeTest, DfgRoundTrip) {
+  const auto samples = tiny_dataset(GraphKind::kDfg);
+  std::stringstream buffer;
+  write_benchmark(buffer, samples);
+  const auto records = read_benchmark(buffer);
+  ASSERT_EQ(records.size(), samples.size());
+  EXPECT_EQ(records[0].graph.kind(), GraphKind::kDfg);
+  EXPECT_EQ(records[0].graph.count_back_edges(), 0);
+}
+
+TEST(SerializeTest, RejectsBadHeader) {
+  std::stringstream buffer("not-a-benchmark\n");
+  EXPECT_THROW(read_benchmark(buffer), std::invalid_argument);
+}
+
+TEST(SerializeTest, RejectsTruncatedRecord) {
+  const auto samples = tiny_dataset(GraphKind::kDfg);
+  std::stringstream buffer;
+  write_benchmark(buffer, samples);
+  std::string content = buffer.str();
+  content.resize(content.size() / 2);  // cut mid-record
+  std::stringstream cut(content);
+  EXPECT_THROW(read_benchmark(cut), std::invalid_argument);
+}
+
+TEST(SerializeTest, RejectsCorruptOpcode) {
+  std::stringstream buffer;
+  buffer << "gnnhls-benchmark v1\n"
+         << "graph g dfg 1 0\n"
+         << "qor 0 1 1 5\n"
+         << "report 0 1 1 5\n"
+         << "node 0 9999 32 0 0 0 0 0 0 0 0 0\n"
+         << "end\n";
+  EXPECT_THROW(read_benchmark(buffer), std::invalid_argument);
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  const auto samples = tiny_dataset(GraphKind::kCdfg);
+  const std::string path = ::testing::TempDir() + "/bench_roundtrip.txt";
+  write_benchmark_file(path, samples);
+  const auto records = read_benchmark_file(path);
+  EXPECT_EQ(records.size(), samples.size());
+  EXPECT_THROW(read_benchmark_file(path + ".missing"),
+               std::invalid_argument);
+}
+
+TEST(DotExportTest, ContainsNodesEdgesAndStyles) {
+  const auto samples = tiny_dataset(GraphKind::kCdfg);
+  const std::string dot = to_dot(samples[0].graph());
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("n0 "), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_NE(dot.find("color=red"), std::string::npos);  // back edges
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);  // control edges
+}
+
+}  // namespace
+}  // namespace gnnhls

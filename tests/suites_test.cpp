@@ -1,0 +1,86 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "dataset/dataset.h"
+#include "suites/suites.h"
+
+namespace gnnhls {
+namespace {
+
+TEST(SuitesTest, PaperCounts) {
+  // Paper §3.2: MachSuite 16, CHStone 10, PolyBench 30.
+  EXPECT_EQ(machsuite_all().size(), 16U);
+  EXPECT_EQ(chstone_all().size(), 10U);
+  EXPECT_EQ(polybench_all().size(), 30U);
+  EXPECT_EQ(all_real_world().size(), 56U);
+}
+
+TEST(SuitesTest, NamesUnique) {
+  std::set<std::string> names;
+  for (const auto& p : all_real_world()) {
+    EXPECT_TRUE(names.insert(p.suite + "/" + p.name).second)
+        << "duplicate " << p.name;
+  }
+}
+
+struct SuiteCase {
+  std::string label;
+  int index;
+};
+
+class SuiteKernelTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SuiteKernelTest, LowersAndSynthesizes) {
+  const auto programs = all_real_world();
+  const SuiteProgram& p = programs[static_cast<std::size_t>(GetParam())];
+  // All real-world kernels contain loops (they lower to CDFGs, which is why
+  // the paper uses them for CDFG-style generalization evaluation).
+  EXPECT_TRUE(p.func.has_control_flow()) << p.name;
+  const Sample s = make_sample(p.func, GraphKind::kCdfg, HlsConfig{},
+                               p.suite + "/" + p.name);
+  EXPECT_GT(s.graph().num_nodes(), 25) << p.name;
+  EXPECT_GT(s.graph().count_back_edges(), 0) << p.name;
+  EXPECT_TRUE(s.graph().forward_edges_acyclic()) << p.name;
+  EXPECT_GT(s.truth.lut, 0.0) << p.name;
+  EXPECT_GT(s.truth.ff, 0.0) << p.name;
+  EXPECT_GT(s.truth.cp_ns, 0.0) << p.name;
+  EXPECT_GT(s.hls_report.lut, 0.0) << p.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All56, SuiteKernelTest, ::testing::Range(0, 56),
+    [](const ::testing::TestParamInfo<int>& info) {
+      static const auto programs = all_real_world();
+      std::string n =
+          programs[static_cast<std::size_t>(info.param)].suite + "_" +
+          programs[static_cast<std::size_t>(info.param)].name;
+      for (char& c : n) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return n;
+    });
+
+TEST(SuitesTest, KernelsAreStructurallyDiverse) {
+  const auto programs = all_real_world();
+  std::set<int> node_counts;
+  for (const auto& p : programs) {
+    node_counts.insert(lower_to_cdfg(p.func).graph.num_nodes());
+  }
+  // At least 2/3 of the kernels have distinct graph sizes.
+  EXPECT_GT(node_counts.size(), 37U);
+}
+
+TEST(SuitesTest, SomeKernelsUseDsps) {
+  int dsp_kernels = 0;
+  for (const auto& p : all_real_world()) {
+    const Sample s =
+        make_sample(p.func, GraphKind::kCdfg, HlsConfig{}, p.name);
+    if (s.truth.dsp > 0.0) ++dsp_kernels;
+  }
+  // Multiplication-heavy kernels (gemm, dct, md, ...) must map to DSPs.
+  EXPECT_GT(dsp_kernels, 20);
+}
+
+}  // namespace
+}  // namespace gnnhls

@@ -1,0 +1,291 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "grad_check.h"
+#include "tensor/autograd.h"
+#include "tensor/matrix.h"
+
+namespace gnnhls {
+namespace {
+
+using testing::expect_gradient_matches;
+
+Matrix make_test_matrix(int rows, int cols, float scale = 1.0F) {
+  Matrix m(rows, cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      m(r, c) = scale * (0.31F * static_cast<float>(r) -
+                         0.17F * static_cast<float>(c) + 0.05F);
+    }
+  }
+  return m;
+}
+
+// ----- Matrix basics -----
+
+TEST(MatrixTest, MatmulMatchesHandComputation) {
+  Matrix a(2, 3);
+  a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+  a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+  Matrix b(3, 2);
+  b(0, 0) = 7; b(0, 1) = 8;
+  b(1, 0) = 9; b(1, 1) = 10;
+  b(2, 0) = 11; b(2, 1) = 12;
+  const Matrix c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c(0, 0), 58);
+  EXPECT_FLOAT_EQ(c(0, 1), 64);
+  EXPECT_FLOAT_EQ(c(1, 0), 139);
+  EXPECT_FLOAT_EQ(c(1, 1), 154);
+}
+
+TEST(MatrixTest, TransposedMatmulsAgreeWithPlain) {
+  Rng rng(3);
+  const Matrix a = Matrix::randn(4, 5, rng);
+  const Matrix b = Matrix::randn(4, 6, rng);
+  // a^T * b via matmul_transpose_a == transpose(a) * b
+  Matrix at(5, 4);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 5; ++j) at(j, i) = a(i, j);
+  }
+  const Matrix direct = matmul(at, b);
+  const Matrix fused = matmul_transpose_a(a, b);
+  ASSERT_TRUE(direct.same_shape(fused));
+  for (int i = 0; i < direct.rows(); ++i) {
+    for (int j = 0; j < direct.cols(); ++j) {
+      EXPECT_NEAR(direct(i, j), fused(i, j), 1e-5);
+    }
+  }
+}
+
+TEST(MatrixTest, ShapeMismatchThrows) {
+  Matrix a(2, 3), b(2, 3);
+  EXPECT_THROW(matmul(a, b), std::invalid_argument);
+  Matrix c(2, 2);
+  EXPECT_THROW(c.add_inplace(a), std::invalid_argument);
+}
+
+// ----- forward values -----
+
+TEST(AutogradTest, ReluForward) {
+  Tape tape;
+  Matrix m(1, 4);
+  m(0, 0) = -2; m(0, 1) = -0.5; m(0, 2) = 0; m(0, 3) = 3;
+  const Var y = tape.relu(tape.leaf(m));
+  EXPECT_FLOAT_EQ(y.value()(0, 0), 0);
+  EXPECT_FLOAT_EQ(y.value()(0, 3), 3);
+}
+
+TEST(AutogradTest, SigmoidForwardRange) {
+  Tape tape;
+  const Var y = tape.sigmoid(tape.leaf(make_test_matrix(3, 3, 4.0F)));
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_GT(y.value()(i, j), 0.0F);
+      EXPECT_LT(y.value()(i, j), 1.0F);
+    }
+  }
+}
+
+TEST(AutogradTest, GatherScatterRoundTrip) {
+  Tape tape;
+  const Var x = tape.leaf(make_test_matrix(4, 3));
+  const std::vector<int> idx = {2, 0, 2, 3};
+  const Var g = tape.gather_rows(x, idx);
+  ASSERT_EQ(g.rows(), 4);
+  EXPECT_FLOAT_EQ(g.value()(0, 1), x.value()(2, 1));
+  const Var s = tape.scatter_add_rows(g, idx, 4);
+  // Row 2 was gathered twice, so it comes back doubled.
+  EXPECT_FLOAT_EQ(s.value()(2, 0), 2.0F * x.value()(2, 0));
+  EXPECT_FLOAT_EQ(s.value()(1, 0), 0.0F);  // never targeted
+}
+
+TEST(AutogradTest, SegmentMeanHandlesEmptySegments) {
+  Tape tape;
+  const Var x = tape.leaf(make_test_matrix(3, 2));
+  const Var m = tape.segment_mean(x, {0, 0, 2}, 3);
+  EXPECT_FLOAT_EQ(m.value()(0, 0),
+                  0.5F * (x.value()(0, 0) + x.value()(1, 0)));
+  EXPECT_FLOAT_EQ(m.value()(1, 0), 0.0F);  // empty segment
+  EXPECT_FLOAT_EQ(m.value()(2, 1), x.value()(2, 1));
+}
+
+TEST(AutogradTest, SegmentMaxMinForward) {
+  Tape tape;
+  Matrix m(4, 1);
+  m(0, 0) = 1; m(1, 0) = 5; m(2, 0) = -3; m(3, 0) = 2;
+  const Var x = tape.leaf(m);
+  const std::vector<int> seg = {0, 0, 1, 1};
+  EXPECT_FLOAT_EQ(tape.segment_max(x, seg, 2).value()(0, 0), 5);
+  EXPECT_FLOAT_EQ(tape.segment_max(x, seg, 2).value()(1, 0), 2);
+  EXPECT_FLOAT_EQ(tape.segment_min(x, seg, 2).value()(0, 0), 1);
+  EXPECT_FLOAT_EQ(tape.segment_min(x, seg, 2).value()(1, 0), -3);
+}
+
+TEST(AutogradTest, SegmentSoftmaxSumsToOnePerSegment) {
+  Tape tape;
+  const Var x = tape.leaf(make_test_matrix(5, 1, 2.0F));
+  const std::vector<int> seg = {0, 0, 0, 1, 1};
+  const Var y = tape.segment_softmax(x, seg, 2);
+  EXPECT_NEAR(y.value()(0, 0) + y.value()(1, 0) + y.value()(2, 0), 1.0F, 1e-5);
+  EXPECT_NEAR(y.value()(3, 0) + y.value()(4, 0), 1.0F, 1e-5);
+}
+
+TEST(AutogradTest, ConcatSliceInverse) {
+  Tape tape;
+  const Var a = tape.leaf(make_test_matrix(3, 2));
+  const Var b = tape.leaf(make_test_matrix(3, 4, 2.0F));
+  const Var cat = tape.concat_cols({a, b});
+  ASSERT_EQ(cat.cols(), 6);
+  const Var back = tape.slice_cols(cat, 2, 6);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_FLOAT_EQ(back.value()(i, j), b.value()(i, j));
+    }
+  }
+}
+
+TEST(AutogradTest, BackwardRequiresScalarLoss) {
+  Tape tape;
+  const Var x = tape.leaf(make_test_matrix(2, 2), true);
+  const Var y = tape.relu(x);
+  EXPECT_THROW(tape.backward(y), std::invalid_argument);
+}
+
+TEST(AutogradTest, BackwardOnConstantThrows) {
+  Tape tape;
+  const Var x = tape.leaf(make_test_matrix(2, 2), false);
+  const Var loss = tape.sum_all(x);
+  EXPECT_THROW(tape.backward(loss), std::invalid_argument);
+}
+
+TEST(AutogradTest, GradientAccumulatesAcrossTapes) {
+  const Var p = make_leaf(Matrix(1, 1, 2.0F), true);
+  for (int pass = 0; pass < 3; ++pass) {
+    Tape tape;
+    tape.backward(tape.scale(tape.use(p), 1.0F));
+  }
+  EXPECT_FLOAT_EQ(p.grad()(0, 0), 3.0F);
+}
+
+// ----- gradient checks (parameterized over op) -----
+
+struct GradCase {
+  std::string name;
+  std::function<Var(Tape&, const Var&)> fn;
+};
+
+class GradCheckTest : public ::testing::TestWithParam<GradCase> {};
+
+TEST_P(GradCheckTest, MatchesFiniteDifference) {
+  expect_gradient_matches(make_test_matrix(4, 3), GetParam().fn);
+}
+
+const std::vector<int> kIdx = {1, 0, 3, 1, 2};
+const std::vector<int> kSeg = {0, 0, 1, 2, 2};
+
+INSTANTIATE_TEST_SUITE_P(
+    Ops, GradCheckTest,
+    ::testing::Values(
+        GradCase{"relu",
+                 [](Tape& t, const Var& x) { return t.sum_all(t.relu(x)); }},
+        GradCase{"leaky_relu",
+                 [](Tape& t, const Var& x) {
+                   return t.sum_all(t.leaky_relu(x, 0.1F));
+                 }},
+        GradCase{"sigmoid",
+                 [](Tape& t, const Var& x) {
+                   return t.sum_all(t.sigmoid(x));
+                 }},
+        GradCase{"tanh",
+                 [](Tape& t, const Var& x) {
+                   return t.sum_all(t.tanh_act(x));
+                 }},
+        GradCase{"affine",
+                 [](Tape& t, const Var& x) {
+                   return t.sum_all(t.affine(x, 1.7F, -0.3F));
+                 }},
+        GradCase{"mul_self",
+                 [](Tape& t, const Var& x) { return t.sum_all(t.mul(x, x)); }},
+        GradCase{"matmul",
+                 [](Tape& t, const Var& x) {
+                   Tape& tape = t;
+                   Matrix w(3, 2);
+                   for (int i = 0; i < 3; ++i)
+                     for (int j = 0; j < 2; ++j)
+                       w(i, j) = 0.2F * static_cast<float>(i - j);
+                   return tape.sum_all(tape.matmul(x, tape.leaf(w)));
+                 }},
+        GradCase{"gather",
+                 [](Tape& t, const Var& x) {
+                   return t.sum_all(t.mul(t.gather_rows(x, kIdx),
+                                          t.gather_rows(x, kIdx)));
+                 }},
+        GradCase{"scatter_add",
+                 [](Tape& t, const Var& x) {
+                   const Var g = t.gather_rows(x, kIdx);
+                   const Var s = t.scatter_add_rows(g, kSeg, 3);
+                   return t.sum_all(t.mul(s, s));
+                 }},
+        GradCase{"segment_mean",
+                 [](Tape& t, const Var& x) {
+                   const Var g = t.gather_rows(x, kIdx);
+                   const Var s = t.segment_mean(g, kSeg, 3);
+                   return t.sum_all(t.mul(s, s));
+                 }},
+        GradCase{"segment_max",
+                 [](Tape& t, const Var& x) {
+                   const Var g = t.gather_rows(x, kIdx);
+                   return t.sum_all(t.segment_max(g, kSeg, 3));
+                 }},
+        GradCase{"segment_min",
+                 [](Tape& t, const Var& x) {
+                   const Var g = t.gather_rows(x, kIdx);
+                   return t.sum_all(t.segment_min(g, kSeg, 3));
+                 }},
+        GradCase{"concat_slice",
+                 [](Tape& t, const Var& x) {
+                   const Var c = t.concat_cols({x, x});
+                   return t.sum_all(t.mul(t.slice_cols(c, 1, 4),
+                                          t.slice_cols(c, 2, 5)));
+                 }},
+        GradCase{"sum_rows_repeat",
+                 [](Tape& t, const Var& x) {
+                   const Var s = t.mean_rows(x);
+                   const Var r = t.repeat_row(s, 4);
+                   return t.sum_all(t.mul(r, x));
+                 }},
+        GradCase{"mul_col_broadcast",
+                 [](Tape& t, const Var& x) {
+                   const Var col = t.slice_cols(x, 0, 1);
+                   return t.sum_all(t.mul_col_broadcast(x, col));
+                 }},
+        GradCase{"sqrt_eps",
+                 [](Tape& t, const Var& x) {
+                   return t.sum_all(t.sqrt_eps(t.mul(x, x), 1e-3F));
+                 }},
+        GradCase{"mse",
+                 [](Tape& t, const Var& x) {
+                   Matrix target(4, 3, 0.25F);
+                   return t.mse_loss(x, target);
+                 }},
+        GradCase{"bce_logits",
+                 [](Tape& t, const Var& x) {
+                   Matrix target(4, 3, 1.0F);
+                   return t.bce_with_logits_loss(x, target);
+                 }},
+        GradCase{"segment_softmax",
+                 [](Tape& t, const Var& x) {
+                   const Var col = t.slice_cols(x, 0, 1);
+                   const Var g = t.gather_rows(col, kIdx);
+                   const Var sm = t.segment_softmax(g, kSeg, 3);
+                   const Var weighted =
+                       t.mul_col_broadcast(t.gather_rows(x, kIdx), sm);
+                   return t.sum_all(t.mul(weighted, weighted));
+                 }}),
+    [](const ::testing::TestParamInfo<GradCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace gnnhls
