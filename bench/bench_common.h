@@ -16,6 +16,7 @@
 #include "dataset/dataset.h"
 #include "suites/suites.h"
 #include "support/flags.h"
+#include "support/parallel.h"
 #include "support/table.h"
 #include "support/timer.h"
 
@@ -31,7 +32,8 @@ struct BenchConfig {
   float dropout = 0.0F;
   int runs = 2;
   int keep_best = 1;
-  int threads = 0;  // 0 = hardware_concurrency
+  int threads = 0;     // 0 = hardware_concurrency
+  int batch_size = 1;  // graphs per SGD step (1 = legacy accumulation loop)
   std::uint64_t seed = 1;
 };
 
@@ -67,12 +69,22 @@ inline BenchConfig parse_bench_config(int argc, const char* const* argv) {
   cfg.runs = flags.get_int("runs", cfg.runs);
   cfg.keep_best = flags.get_int("best", cfg.keep_best);
   cfg.threads = flags.get_int("threads", cfg.threads);
+  cfg.batch_size = flags.get_int("batch-size", cfg.batch_size);
   cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   flags.check_all_consumed();
   if (cfg.threads <= 0) {
     cfg.threads = static_cast<int>(std::thread::hardware_concurrency());
     if (cfg.threads <= 0) cfg.threads = 4;
   }
+  // The table benches saturate cores with job-level run_parallel(threads),
+  // so the kernel pool stays at one thread — stacking row-parallel matmul
+  // on top would oversubscribe every core by up to threads x threads and
+  // hammer the shared pool from every job at once. This also pins
+  // --threads=1 to fully-serial kernels (deterministic single-job timing);
+  // kernel-level parallelism is measured by bench_micro, which keeps the
+  // default hardware-concurrency pool.
+  ThreadPool::set_global_threads(1);
+  tune_malloc_for_tensor_workloads();
   return cfg;
 }
 
@@ -88,6 +100,7 @@ inline TrainConfig train_config(const BenchConfig& cfg) {
   TrainConfig tc;
   tc.epochs = cfg.epochs;
   tc.lr = cfg.lr;
+  tc.batch_size = cfg.batch_size;
   tc.seed = cfg.seed;
   return tc;
 }

@@ -1,14 +1,23 @@
 // Micro benchmarks of the numerical substrate (google-benchmark):
-// matmul, message-passing primitives, encoder forward passes, HLS stages.
+// matmul (scalar vs parallel), message-passing primitives, encoder forward
+// passes, batched vs single-graph training throughput, HLS stages.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
+#include "core/predictor.h"
+#include "gnn/graph_batch.h"
 #include "gnn/models.h"
 #include "hls/hls_flow.h"
 #include "nn/adam.h"
 #include "progen/progen.h"
+#include "support/parallel.h"
 
 namespace gnnhls {
 namespace {
+
+// Benchmark what production training gets: heap-recycled large buffers.
+const bool kMallocTuned = (tune_malloc_for_tensor_workloads(), true);
 
 void BM_Matmul(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -21,6 +30,28 @@ void BM_Matmul(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
 BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+
+/// Parallel vs scalar matmul: same kernel, thread pool sized per arg.
+void BM_MatmulThreads(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  ThreadPool::set_global_threads(threads);
+  Rng rng(1);
+  const Matrix a = Matrix::randn(n, n, rng);
+  const Matrix b = Matrix::randn(n, n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul(a, b).data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+  state.SetLabel(std::to_string(threads) + " thread(s)");
+  ThreadPool::set_global_threads(0);  // restore default
+}
+BENCHMARK(BM_MatmulThreads)
+    ->Args({128, 1})
+    ->Args({128, 4})
+    ->Args({256, 1})
+    ->Args({256, 4})
+    ->UseRealTime();
 
 void BM_GatherScatter(benchmark::State& state) {
   LoweredProgram p = lower_to_cdfg(generate_cdfg_program(3));
@@ -60,6 +91,97 @@ void BM_EncoderForward(benchmark::State& state) {
   state.SetLabel(gnn_kind_name(kind));
 }
 BENCHMARK(BM_EncoderForward)->DenseRange(0, kNumGnnKinds - 1);
+
+/// Batched vs single-graph training throughput: one epoch over a fixed
+/// 32-graph corpus per iteration, batch_size graphs per tape. items/sec is
+/// graphs/sec through forward+backward+step.
+void BM_BatchedTrainStep(benchmark::State& state) {
+  const int batch_size = static_cast<int>(state.range(0));
+  constexpr int kGraphs = 32;
+
+  std::vector<LoweredProgram> progs;
+  std::vector<GraphTensors> tensors;
+  std::vector<Matrix> feats;
+  progs.reserve(kGraphs);
+  for (int i = 0; i < kGraphs; ++i) {
+    progs.push_back(lower_to_cdfg(
+        generate_cdfg_program(static_cast<std::uint64_t>(100 + i))));
+    run_hls_flow(progs.back());
+    tensors.push_back(GraphTensors::build(progs.back().graph));
+    feats.push_back(InputFeatureBuilder::build(progs.back().graph,
+                                               Approach::kOffTheShelf));
+  }
+
+  // Pre-assemble the batches once: the steady-state cost under test is the
+  // batched tape, not union construction (which BM_BatchAssembly covers).
+  struct PreBatch {
+    GraphBatch batch;
+    Matrix features;
+    Matrix target;
+  };
+  std::vector<PreBatch> batches;
+  for (int lo = 0; lo < kGraphs; lo += batch_size) {
+    const int hi = std::min(lo + batch_size, kGraphs);
+    std::vector<const GraphTensors*> parts;
+    std::vector<const Matrix*> fparts;
+    for (int g = lo; g < hi; ++g) {
+      parts.push_back(&tensors[static_cast<std::size_t>(g)]);
+      fparts.push_back(&feats[static_cast<std::size_t>(g)]);
+    }
+    batches.push_back(PreBatch{GraphBatch::build(parts),
+                               GraphBatch::stack_features(fparts),
+                               Matrix(hi - lo, 1, 5.0F)});
+  }
+
+  Rng rng(3);
+  ModelConfig mc;
+  mc.kind = GnnKind::kGcn;
+  mc.hidden = 64;
+  mc.layers = 3;
+  GraphRegressor model(mc, feats.front().cols(), rng);
+  const std::vector<Matrix> initial = snapshot_parameters(model);
+  Rng drop(1);
+  for (auto _ : state) {
+    // Reset to the initial weights and a fresh optimizer outside the timed
+    // region so every iteration (and every batch-size variant) times the
+    // same workload — a trained model has different activation sparsity,
+    // which changes the zero-skipping backward kernels' cost.
+    state.PauseTiming();
+    restore_parameters(model, initial);
+    Adam opt(model, AdamConfig{});
+    state.ResumeTiming();
+    for (const PreBatch& pb : batches) {
+      Tape tape;
+      const Var pred =
+          model.forward(tape, pb.batch.merged, pb.features, drop, true);
+      tape.backward(tape.mse_loss(pred, pb.target));
+      opt.step();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kGraphs);
+  state.SetLabel("batch=" + std::to_string(batch_size));
+}
+BENCHMARK(BM_BatchedTrainStep)->Arg(1)->Arg(8)->Arg(32)->UseRealTime();
+
+/// Cost of assembling the disjoint union itself.
+void BM_BatchAssembly(benchmark::State& state) {
+  const int batch_size = static_cast<int>(state.range(0));
+  std::vector<LoweredProgram> progs;
+  std::vector<GraphTensors> tensors;
+  for (int i = 0; i < batch_size; ++i) {
+    progs.push_back(lower_to_cdfg(
+        generate_cdfg_program(static_cast<std::uint64_t>(200 + i))));
+    run_hls_flow(progs.back());
+    tensors.push_back(GraphTensors::build(progs.back().graph));
+  }
+  std::vector<const GraphTensors*> parts;
+  for (const auto& t : tensors) parts.push_back(&t);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GraphBatch::build(parts).merged.num_nodes);
+  }
+  state.SetItemsProcessed(state.iterations() * batch_size);
+}
+BENCHMARK(BM_BatchAssembly)->Arg(8)->Arg(32);
 
 void BM_TrainStep(benchmark::State& state) {
   LoweredProgram p = lower_to_cdfg(generate_cdfg_program(7));

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "gnn/graph_batch.h"
+
 namespace gnnhls {
 
 namespace {
@@ -14,6 +16,110 @@ float lr_at_epoch(float base_lr, int epoch, int total_epochs) {
   if (progress < 0.6) return base_lr;
   if (progress < 0.85) return base_lr * 0.3F;
   return base_lr * 0.1F;
+}
+
+/// Batch views of samples[chunk]: tensors for GraphBatch::build and row
+/// matrices (features or labels) for GraphBatch::stack_features.
+std::vector<const GraphTensors*> chunk_tensors(
+    const std::vector<Sample>& samples, const std::vector<int>& order,
+    std::size_t begin, std::size_t end) {
+  std::vector<const GraphTensors*> parts;
+  parts.reserve(end - begin);
+  for (std::size_t i = begin; i < end; ++i) {
+    parts.push_back(&samples[static_cast<std::size_t>(order[i])].tensors);
+  }
+  return parts;
+}
+
+std::vector<const Matrix*> chunk_rows(const std::vector<Matrix>& per_sample,
+                                      const std::vector<int>& order,
+                                      std::size_t begin, std::size_t end) {
+  std::vector<const Matrix*> parts;
+  parts.reserve(end - begin);
+  for (std::size_t i = begin; i < end; ++i) {
+    parts.push_back(&per_sample[static_cast<std::size_t>(order[i])]);
+  }
+  return parts;
+}
+
+/// One training epoch over `order`, shared by every fit loop. batch_size<=1
+/// runs the legacy per-graph tape with gradient accumulation every
+/// batch_graphs (bit-for-bit the pre-batching trajectory); otherwise each
+/// [begin,end) chunk of `order` is one mini-batch tape and optimizer step.
+/// per_graph(idx) / per_batch(begin,end) build the tape and run backward.
+template <typename PerGraph, typename PerBatch>
+void run_epoch(const std::vector<int>& order, int batch_size,
+               int batch_graphs, Adam& opt, PerGraph&& per_graph,
+               PerBatch&& per_batch) {
+  if (batch_size <= 1) {
+    int accumulated = 0;
+    for (int idx : order) {
+      per_graph(idx);
+      if (++accumulated >= batch_graphs) {
+        opt.step();
+        accumulated = 0;
+      }
+    }
+    if (accumulated > 0) opt.step();
+  } else {
+    const std::size_t bs = static_cast<std::size_t>(batch_size);
+    for (std::size_t pos = 0; pos < order.size(); pos += bs) {
+      per_batch(pos, std::min(pos + bs, order.size()));
+      opt.step();
+    }
+  }
+}
+
+// ----- shared classifier training (QorPredictor -I and NodeTypePredictor) --
+
+struct ClassifierData {
+  std::vector<Matrix> feats, labels;  // indexed by sample position
+};
+
+ClassifierData build_classifier_data(const std::vector<Sample>& samples,
+                                     const std::vector<int>& idx) {
+  ClassifierData data;
+  data.feats.resize(samples.size());
+  data.labels.resize(samples.size());
+  for (int i : idx) {
+    const Sample& s = samples[static_cast<std::size_t>(i)];
+    data.feats[static_cast<std::size_t>(i)] =
+        InputFeatureBuilder::build(s.graph(), Approach::kOffTheShelf);
+    data.labels[static_cast<std::size_t>(i)] =
+        InputFeatureBuilder::node_type_labels(s.graph());
+  }
+  return data;
+}
+
+void run_classifier_epoch(const NodeClassifier& classifier, Adam& opt,
+                          const std::vector<Sample>& samples,
+                          const ClassifierData& data,
+                          const std::vector<int>& order,
+                          const TrainConfig& tc, Rng& dropout_rng) {
+  run_epoch(
+      order, tc.batch_size, tc.batch_graphs, opt,
+      [&](int idx) {
+        const Sample& s = samples[static_cast<std::size_t>(idx)];
+        Tape tape;
+        const Var logits = classifier.forward(
+            tape, s.tensors, data.feats[static_cast<std::size_t>(idx)],
+            dropout_rng, true);
+        tape.backward(tape.bce_with_logits_loss(
+            logits, data.labels[static_cast<std::size_t>(idx)]));
+      },
+      [&](std::size_t pos, std::size_t end) {
+        const GraphBatch batch =
+            GraphBatch::build(chunk_tensors(samples, order, pos, end));
+        const Matrix batch_feats = GraphBatch::stack_features(
+            chunk_rows(data.feats, order, pos, end));
+        const Matrix batch_labels = GraphBatch::stack_features(
+            chunk_rows(data.labels, order, pos, end));
+        Tape tape;
+        const Var logits = classifier.forward(tape, batch.merged,
+                                              batch_feats, dropout_rng,
+                                              true);
+        tape.backward(tape.bce_with_logits_loss(logits, batch_labels));
+      });
 }
 
 }  // namespace
@@ -70,26 +176,13 @@ void QorPredictor::fit_classifier(const std::vector<Sample>& samples,
   Rng order_rng(train_cfg_.seed * 31 + 7);
   Rng dropout_rng(train_cfg_.seed * 17 + 3);
   std::vector<int> order = train_idx;
+  const ClassifierData data = build_classifier_data(samples, train_idx);
+
   for (int epoch = 0; epoch < train_cfg_.epochs; ++epoch) {
     opt.set_lr(lr_at_epoch(train_cfg_.lr, epoch, train_cfg_.epochs));
     order_rng.shuffle(order);
-    int accumulated = 0;
-    for (int idx : order) {
-      const Sample& s = samples[static_cast<std::size_t>(idx)];
-      const Matrix feats =
-          InputFeatureBuilder::build(s.graph(), Approach::kOffTheShelf);
-      Tape tape;
-      const Var logits = classifier_->forward(tape, s.tensors, feats,
-                                              dropout_rng, true);
-      const Var loss = tape.bce_with_logits_loss(
-          logits, InputFeatureBuilder::node_type_labels(s.graph()));
-      tape.backward(loss);
-      if (++accumulated >= train_cfg_.batch_graphs) {
-        opt.step();
-        accumulated = 0;
-      }
-    }
-    if (accumulated > 0) opt.step();
+    run_classifier_epoch(*classifier_, opt, samples, data, order, train_cfg_,
+                         dropout_rng);
   }
 }
 
@@ -98,6 +191,7 @@ double QorPredictor::fit(const std::vector<Sample>& samples,
   metric_ = metric;
   GNNHLS_CHECK(!split.train.empty() && !split.val.empty(),
                "fit: empty train/val split");
+  tune_malloc_for_tensor_workloads();  // epochs of tape churn ahead
 
   if (approach_ == Approach::kKnowledgeInfused &&
       infused_ == InfusedInference::kSelfInferred) {
@@ -113,9 +207,12 @@ double QorPredictor::fit(const std::vector<Sample>& samples,
 
   // Pre-encode targets and cache training features.
   std::vector<Matrix> feats(samples.size());
+  std::vector<float> targets(samples.size(), 0.0F);
   for (int idx : split.train) {
-    feats[static_cast<std::size_t>(idx)] =
-        training_features(samples[static_cast<std::size_t>(idx)]);
+    const Sample& s = samples[static_cast<std::size_t>(idx)];
+    feats[static_cast<std::size_t>(idx)] = training_features(s);
+    targets[static_cast<std::size_t>(idx)] =
+        encode_target(metric_of(s.truth, metric), metric);
   }
 
   Rng order_rng(train_cfg_.seed * 31 + 1);
@@ -127,22 +224,36 @@ double QorPredictor::fit(const std::vector<Sample>& samples,
   for (int epoch = 0; epoch < train_cfg_.epochs; ++epoch) {
     opt.set_lr(lr_at_epoch(train_cfg_.lr, epoch, train_cfg_.epochs));
     order_rng.shuffle(order);
-    int accumulated = 0;
-    for (int idx : order) {
-      const Sample& s = samples[static_cast<std::size_t>(idx)];
-      Tape tape;
-      const Var pred =
-          regressor_->forward(tape, s.tensors,
-                              feats[static_cast<std::size_t>(idx)],
-                              dropout_rng, true);
-      Matrix target(1, 1, encode_target(metric_of(s.truth, metric), metric));
-      tape.backward(tape.mse_loss(pred, target));
-      if (++accumulated >= train_cfg_.batch_graphs) {
-        opt.step();
-        accumulated = 0;
-      }
-    }
-    if (accumulated > 0) opt.step();
+    run_epoch(
+        order, train_cfg_.batch_size, train_cfg_.batch_graphs, opt,
+        [&](int idx) {
+          const Sample& s = samples[static_cast<std::size_t>(idx)];
+          Tape tape;
+          const Var pred =
+              regressor_->forward(tape, s.tensors,
+                                  feats[static_cast<std::size_t>(idx)],
+                                  dropout_rng, true);
+          Matrix target(1, 1, targets[static_cast<std::size_t>(idx)]);
+          tape.backward(tape.mse_loss(pred, target));
+        },
+        [&](std::size_t pos, std::size_t end) {
+          // Forward yields one prediction row per member graph; MSE
+          // averages over the batch.
+          const GraphBatch batch =
+              GraphBatch::build(chunk_tensors(samples, order, pos, end));
+          const Matrix batch_feats =
+              GraphBatch::stack_features(chunk_rows(feats, order, pos, end));
+          Matrix target(static_cast<int>(end - pos), 1);
+          for (std::size_t i = pos; i < end; ++i) {
+            target(static_cast<int>(i - pos), 0) =
+                targets[static_cast<std::size_t>(order[i])];
+          }
+          Tape tape;
+          const Var pred = regressor_->forward(tape, batch.merged,
+                                               batch_feats, dropout_rng,
+                                               true);
+          tape.backward(tape.mse_loss(pred, target));
+        });
 
     // Validation model selection. NOTE: -I validates through the full
     // hierarchical path (classifier bits), matching deployment.
@@ -165,13 +276,41 @@ double QorPredictor::predict(const Sample& sample) const {
 
 double QorPredictor::evaluate_mape(const std::vector<Sample>& samples,
                                    const std::vector<int>& idx) const {
+  GNNHLS_CHECK(regressor_ != nullptr, "evaluate before fit");
   std::vector<double> pred, truth;
   pred.reserve(idx.size());
   truth.reserve(idx.size());
-  for (int i : idx) {
-    const Sample& s = samples[static_cast<std::size_t>(i)];
-    pred.push_back(predict(s));
-    truth.push_back(metric_of(s.truth, metric_));
+  const std::size_t bs =
+      static_cast<std::size_t>(std::max(train_cfg_.batch_size, 1));
+  if (bs <= 1) {
+    for (int i : idx) {
+      const Sample& s = samples[static_cast<std::size_t>(i)];
+      pred.push_back(predict(s));
+      truth.push_back(metric_of(s.truth, metric_));
+    }
+  } else {
+    // Batched inference: features may be per-sample (hierarchical -I path
+    // runs the classifier per sample) but the regressor runs per batch.
+    for (std::size_t pos = 0; pos < idx.size(); pos += bs) {
+      const std::size_t end = std::min(pos + bs, idx.size());
+      std::vector<Matrix> feats;
+      std::vector<const GraphTensors*> parts;
+      std::vector<const Matrix*> fparts;
+      feats.reserve(end - pos);
+      parts.reserve(end - pos);
+      for (std::size_t i = pos; i < end; ++i) {
+        const Sample& s = samples[static_cast<std::size_t>(idx[i])];
+        feats.push_back(inference_features(s));
+        parts.push_back(&s.tensors);
+        truth.push_back(metric_of(s.truth, metric_));
+      }
+      fparts.reserve(feats.size());
+      for (const Matrix& f : feats) fparts.push_back(&f);
+      const GraphBatch batch = GraphBatch::build(parts);
+      const std::vector<float> encoded = regressor_->predict_batch(
+          batch.merged, GraphBatch::stack_features(fparts));
+      for (float e : encoded) pred.push_back(decode_target(e, metric_));
+    }
   }
   return mape(pred, truth);
 }
@@ -184,6 +323,7 @@ NodeTypePredictor::NodeTypePredictor(ModelConfig model_cfg,
 
 double NodeTypePredictor::fit(const std::vector<Sample>& samples,
                               const SplitIndices& split) {
+  tune_malloc_for_tensor_workloads();
   Rng init_rng(train_cfg_.seed * 7919 + 13);
   classifier_ = std::make_unique<NodeClassifier>(
       model_cfg_, InputFeatureBuilder::feature_dim(Approach::kOffTheShelf),
@@ -194,28 +334,15 @@ double NodeTypePredictor::fit(const std::vector<Sample>& samples,
   Rng order_rng(train_cfg_.seed * 31 + 7);
   Rng dropout_rng(train_cfg_.seed * 17 + 3);
   std::vector<int> order = split.train;
+  const ClassifierData data = build_classifier_data(samples, split.train);
+
   double best_val = 0.0;
   std::vector<Matrix> best_params;
   for (int epoch = 0; epoch < train_cfg_.epochs; ++epoch) {
     opt.set_lr(lr_at_epoch(train_cfg_.lr, epoch, train_cfg_.epochs));
     order_rng.shuffle(order);
-    int accumulated = 0;
-    for (int idx : order) {
-      const Sample& s = samples[static_cast<std::size_t>(idx)];
-      const Matrix feats =
-          InputFeatureBuilder::build(s.graph(), Approach::kOffTheShelf);
-      Tape tape;
-      const Var logits =
-          classifier_->forward(tape, s.tensors, feats, dropout_rng, true);
-      const Var loss = tape.bce_with_logits_loss(
-          logits, InputFeatureBuilder::node_type_labels(s.graph()));
-      tape.backward(loss);
-      if (++accumulated >= train_cfg_.batch_graphs) {
-        opt.step();
-        accumulated = 0;
-      }
-    }
-    if (accumulated > 0) opt.step();
+    run_classifier_epoch(*classifier_, opt, samples, data, order, train_cfg_,
+                         dropout_rng);
 
     const NodeClassifierScores val = evaluate(samples, split.val);
     const double mean_acc = (val.dsp + val.lut + val.ff) / 3.0;

@@ -33,7 +33,22 @@ struct TrainConfig {
   float lr = 3e-3F;
   float weight_decay = 1e-5F;
   float grad_clip = 5.0F;
-  int batch_graphs = 8;  // gradient-accumulation window
+  int batch_graphs = 8;  // gradient-accumulation window (batch_size==1 path)
+  /// Graphs per forward/backward pass. 1 keeps the legacy one-graph-per-tape
+  /// gradient-accumulation loop (bit-for-bit the pre-batching trajectory);
+  /// >1 disjoint-unions that many graphs into one GraphBatch per SGD step
+  /// (one tape, segment readout, one optimizer step per batch). Loss
+  /// semantics differ between the modes. Regressor: the legacy loop sums
+  /// batch_graphs per-graph MSEs per step while the batched loss is the
+  /// per-batch mean — a constant 1/batch_size scale Adam's update direction
+  /// is invariant to, so trajectories match closely (grad_clip and lr
+  /// sweeps are calibrated against the mean convention). Classifier: the
+  /// batched BCE averages over all *nodes* in the stacked batch (standard
+  /// node-level batching), so larger graphs carry proportionally more
+  /// gradient weight than in the per-graph loop, where each graph's mean
+  /// contributed equally — not a constant rescale on node-count-
+  /// heterogeneous corpora.
+  int batch_size = 1;
   std::uint64_t seed = 1;
 };
 
@@ -58,7 +73,8 @@ class QorPredictor {
   /// inference: classifier -> annotated features -> regressor).
   double predict(const Sample& sample) const;
 
-  /// MAPE over an index subset.
+  /// MAPE over an index subset. With batch_size > 1 the regressor runs on
+  /// GraphBatch unions of that many samples per tape.
   double evaluate_mape(const std::vector<Sample>& samples,
                        const std::vector<int>& idx) const;
 

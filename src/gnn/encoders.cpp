@@ -48,6 +48,12 @@ namespace {
 
 // ----- shared message-passing helpers -----
 
+// Encoders must stay segment-correct: a GraphTensors may be the disjoint
+// union of several member graphs (GraphBatch), so any whole-matrix
+// reduction (virtual-node pooling, PNA degree averages, top-k pooling)
+// has to respect gt.graph_id / gt.num_graphs. Per-node and per-edge ops
+// are batch-oblivious since union edges never cross member graphs.
+
 /// sum_{(u,v) in E} x_u  ->  per destination v.
 Var aggregate_sum(Tape& t, const GraphTensors& gt, const Var& x) {
   if (gt.src.empty()) return t.affine(x, 0.0F, 0.0F);
@@ -94,16 +100,18 @@ class GcnEncoder : public GnnEncoder {
   Var encode(Tape& t, const GraphTensors& gt, const Var& x, Rng& rng,
              bool training) const override {
     Var h = input_->forward(t, x);
-    Var virt = t.leaf(Matrix(1, cfg_.hidden));  // virtual-node embedding
+    // One virtual-node embedding per member graph.
+    Var virt = t.leaf(Matrix(gt.num_graphs, cfg_.hidden));
     for (std::size_t l = 0; l < convs_.size(); ++l) {
       if (with_virtual_) {
-        h = t.add(h, t.repeat_row(virt, gt.num_nodes));
+        h = t.add(h, t.broadcast_rows_by_segment(virt, gt.graph_id));
       }
       h = t.relu(convs_[l]->forward(t, gcn_propagate(t, gt, h)));
       h = t.dropout(h, cfg_.dropout, rng, training);
       if (with_virtual_) {
-        virt = t.relu(
-            virtual_mlps_[l]->forward(t, t.add(virt, t.mean_rows(h))));
+        virt = t.relu(virtual_mlps_[l]->forward(
+            t, t.add(virt,
+                     t.segment_mean_rows(h, gt.graph_id, gt.num_graphs))));
       }
     }
     return h;
@@ -298,9 +306,11 @@ class GinEncoder : public GnnEncoder {
   Var encode(Tape& t, const GraphTensors& gt, const Var& x, Rng& rng,
              bool training) const override {
     Var h = input_->forward(t, x);
-    Var virt = t.leaf(Matrix(1, cfg_.hidden));
+    Var virt = t.leaf(Matrix(gt.num_graphs, cfg_.hidden));
     for (std::size_t l = 0; l < mlps_.size(); ++l) {
-      if (with_virtual_) h = t.add(h, t.repeat_row(virt, gt.num_nodes));
+      if (with_virtual_) {
+        h = t.add(h, t.broadcast_rows_by_segment(virt, gt.graph_id));
+      }
       // (1 + eps) * h + sum_{u in N(v)} h_u
       const Var one_eps =
           t.affine(t.repeat_row(eps_[l].var(), gt.num_nodes), 1.0F, 1.0F);
@@ -309,8 +319,9 @@ class GinEncoder : public GnnEncoder {
       h = t.relu(mlps_[l]->forward(t, mixed));
       h = t.dropout(h, cfg_.dropout, rng, training);
       if (with_virtual_) {
-        virt = t.relu(
-            virtual_mlps_[l]->forward(t, t.add(virt, t.mean_rows(h))));
+        virt = t.relu(virtual_mlps_[l]->forward(
+            t, t.add(virt,
+                     t.segment_mean_rows(h, gt.graph_id, gt.num_graphs))));
       }
     }
     return h;
@@ -344,13 +355,20 @@ class PnaEncoder : public GnnEncoder {
 
   Var encode(Tape& t, const GraphTensors& gt, const Var& x, Rng& rng,
              bool training) const override {
-    // Scaler coefficient vectors (constants per graph).
+    // Scaler coefficient vectors (constants per graph). Each node is scaled
+    // against the average log-degree of *its own* member graph so batched
+    // PNA matches per-graph PNA.
     std::vector<float> amplify(static_cast<std::size_t>(gt.num_nodes));
     std::vector<float> attenuate(static_cast<std::size_t>(gt.num_nodes));
     for (int i = 0; i < gt.num_nodes; ++i) {
+      const float avg =
+          gt.graph_avg_log_deg.empty()
+              ? gt.avg_log_deg
+              : gt.graph_avg_log_deg[static_cast<std::size_t>(
+                    gt.graph_id[static_cast<std::size_t>(i)])];
       const float d = std::max(gt.log_deg[static_cast<std::size_t>(i)], 0.1F);
-      amplify[static_cast<std::size_t>(i)] = d / gt.avg_log_deg;
-      attenuate[static_cast<std::size_t>(i)] = gt.avg_log_deg / d;
+      amplify[static_cast<std::size_t>(i)] = d / avg;
+      attenuate[static_cast<std::size_t>(i)] = avg / d;
     }
 
     Var h = input_->forward(t, x);
@@ -569,15 +587,34 @@ class UnetEncoder : public GnnEncoder {
     const Var skip = h;
 
     // gPool: keep the top-k nodes by projection score, gate by sigmoid.
+    // Selection runs per member graph (top half of each member, at least
+    // one node) so batched pooling selects exactly what per-graph pooling
+    // would. Member node ranges are contiguous, so the concatenated
+    // ascending per-member kept lists are globally ascending.
     const Var scores = t.matmul(h, score_.var());  // [N,1]
-    const int keep = std::max(gt.num_nodes / 2, 1);
-    std::vector<int> order(static_cast<std::size_t>(gt.num_nodes));
-    for (int i = 0; i < gt.num_nodes; ++i) order[static_cast<std::size_t>(i)] = i;
-    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
-      return scores.value()(a, 0) > scores.value()(b, 0);
-    });
-    std::vector<int> kept(order.begin(), order.begin() + keep);
-    std::sort(kept.begin(), kept.end());
+    std::vector<int> kept;
+    kept.reserve(static_cast<std::size_t>(gt.num_nodes / 2 + gt.num_graphs));
+    for (int lo = 0; lo < gt.num_nodes;) {
+      int hi = lo;
+      const int g = gt.graph_id[static_cast<std::size_t>(lo)];
+      while (hi < gt.num_nodes &&
+             gt.graph_id[static_cast<std::size_t>(hi)] == g) {
+        ++hi;
+      }
+      const int keep_g = std::max((hi - lo) / 2, 1);
+      std::vector<int> order(static_cast<std::size_t>(hi - lo));
+      for (int i = lo; i < hi; ++i) {
+        order[static_cast<std::size_t>(i - lo)] = i;
+      }
+      std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return scores.value()(a, 0) > scores.value()(b, 0);
+      });
+      order.resize(static_cast<std::size_t>(keep_g));
+      std::sort(order.begin(), order.end());
+      kept.insert(kept.end(), order.begin(), order.end());
+      lo = hi;
+    }
+    const int keep = static_cast<int>(kept.size());
 
     const Var gated = t.mul_col_broadcast(
         t.gather_rows(h, kept),

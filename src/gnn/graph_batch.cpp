@@ -1,0 +1,130 @@
+#include "gnn/graph_batch.h"
+
+#include <cstring>
+
+#include "support/parallel.h"
+
+namespace gnnhls {
+
+namespace {
+
+/// Appends src with every element shifted by offset.
+void append_offset(std::vector<int>& out, const std::vector<int>& src,
+                   int offset) {
+  out.reserve(out.size() + src.size());
+  for (int v : src) out.push_back(v + offset);
+}
+
+}  // namespace
+
+GraphBatch GraphBatch::build(const std::vector<const GraphTensors*>& parts) {
+  GNNHLS_CHECK(!parts.empty(), "GraphBatch: empty batch");
+  GraphBatch batch;
+  GraphTensors& m = batch.merged;
+  m.num_graphs = static_cast<int>(parts.size());
+
+  std::size_t total_nodes = 0, total_edges = 0;
+  for (const GraphTensors* p : parts) {
+    GNNHLS_CHECK(p != nullptr, "GraphBatch: null member");
+    GNNHLS_CHECK_EQ(p->num_graphs, 1,
+                    "GraphBatch: members must be single graphs");
+    total_nodes += static_cast<std::size_t>(p->num_nodes);
+    total_edges += p->src.size();
+  }
+  m.src.reserve(total_edges);
+  m.dst.reserve(total_edges);
+  m.gcn_coeff.reserve(total_edges);
+  m.gcn_self_coeff.reserve(total_nodes);
+  m.log_deg.reserve(total_nodes);
+  m.graph_id.reserve(total_nodes);
+  m.graph_avg_log_deg.reserve(parts.size());
+  m.relation_edges.assign(kNumEdgeRelations, {});
+  batch.node_offset.reserve(parts.size() + 1);
+  batch.node_offset.push_back(0);
+
+  int node_offset = 0;
+  int edge_offset = 0;
+  for (std::size_t g = 0; g < parts.size(); ++g) {
+    const GraphTensors& p = *parts[g];
+    append_offset(m.src, p.src, node_offset);
+    append_offset(m.dst, p.dst, node_offset);
+    m.gcn_coeff.insert(m.gcn_coeff.end(), p.gcn_coeff.begin(),
+                       p.gcn_coeff.end());
+    m.gcn_self_coeff.insert(m.gcn_self_coeff.end(), p.gcn_self_coeff.begin(),
+                            p.gcn_self_coeff.end());
+    m.log_deg.insert(m.log_deg.end(), p.log_deg.begin(), p.log_deg.end());
+    m.graph_avg_log_deg.push_back(p.avg_log_deg);
+    m.graph_id.insert(m.graph_id.end(),
+                      static_cast<std::size_t>(p.num_nodes),
+                      static_cast<int>(g));
+    for (int r = 0; r < kNumEdgeRelations; ++r) {
+      append_offset(m.relation_edges[static_cast<std::size_t>(r)],
+                    p.relation_edges[static_cast<std::size_t>(r)],
+                    edge_offset);
+    }
+    node_offset += p.num_nodes;
+    edge_offset += static_cast<int>(p.src.size());
+    batch.node_offset.push_back(node_offset);
+  }
+  m.num_nodes = node_offset;
+
+  // Self-loop-augmented edge list follows the single-graph convention:
+  // plain edges first, then one self loop per node.
+  m.src_self = m.src;
+  m.dst_self = m.dst;
+  m.src_self.reserve(m.src.size() + total_nodes);
+  m.dst_self.reserve(m.dst.size() + total_nodes);
+  for (int i = 0; i < m.num_nodes; ++i) {
+    m.src_self.push_back(i);
+    m.dst_self.push_back(i);
+  }
+
+  // Whole-batch average (informational; PNA uses graph_avg_log_deg).
+  float sum = 0.0F;
+  for (float l : m.log_deg) sum += l;
+  m.avg_log_deg =
+      m.num_nodes > 0
+          ? std::max(sum / static_cast<float>(m.num_nodes), 0.1F)
+          : 1.0F;
+  return batch;
+}
+
+Matrix GraphBatch::stack_features(const std::vector<const Matrix*>& parts) {
+  GNNHLS_CHECK(!parts.empty(), "stack_features: empty batch");
+  const int cols = parts.front()->cols();
+  std::vector<int> offsets;
+  offsets.reserve(parts.size() + 1);
+  offsets.push_back(0);
+  for (const Matrix* p : parts) {
+    GNNHLS_CHECK(p != nullptr, "stack_features: null member");
+    GNNHLS_CHECK_EQ(p->cols(), cols, "stack_features: column mismatch");
+    offsets.push_back(offsets.back() + p->rows());
+  }
+  Matrix out(offsets.back(), cols);
+  parallel_for(0, static_cast<int>(parts.size()), 1, [&](int lo, int hi) {
+    for (int g = lo; g < hi; ++g) {
+      const Matrix& p = *parts[static_cast<std::size_t>(g)];
+      if (p.rows() == 0) continue;
+      std::memcpy(out.row_ptr(offsets[static_cast<std::size_t>(g)]),
+                  p.data(),
+                  p.size() * sizeof(float));
+    }
+  });
+  return out;
+}
+
+Matrix GraphBatch::member_rows(const Matrix& merged_rows, int g) const {
+  GNNHLS_CHECK(g >= 0 && g < num_graphs(), "member_rows: bad graph index");
+  GNNHLS_CHECK_EQ(merged_rows.rows(), num_nodes(),
+                  "member_rows: row count does not match batch");
+  const int lo = node_offset[static_cast<std::size_t>(g)];
+  const int hi = node_offset[static_cast<std::size_t>(g) + 1];
+  Matrix out(hi - lo, merged_rows.cols());
+  if (out.rows() > 0) {
+    std::memcpy(out.data(), merged_rows.row_ptr(lo),
+                out.size() * sizeof(float));
+  }
+  return out;
+}
+
+}  // namespace gnnhls

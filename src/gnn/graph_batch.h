@@ -1,0 +1,48 @@
+// Mini-batching over graphs by disjoint union.
+//
+// A GraphBatch stitches N GraphTensors into one larger GraphTensors whose
+// edge list is the concatenation of the members' edge lists with node
+// indices offset into a shared row space, plus a per-node graph_id segment
+// vector. Because no edge crosses member boundaries, every message-passing
+// encoder runs unchanged on the merged view and produces, per member graph,
+// the same embeddings it would produce on that graph alone; graph-level
+// readout and virtual-node pooling use the graph_id segments (see the
+// segment_* ops in tensor/autograd.h) instead of whole-matrix reductions.
+//
+// This is the same trick PyTorch Geometric's Batch/DataLoader uses, and is
+// what lets one SGD step amortize tape construction and matmul launches
+// over `batch_size` graphs.
+#pragma once
+
+#include <vector>
+
+#include "gnn/graph_tensors.h"
+#include "tensor/matrix.h"
+
+namespace gnnhls {
+
+struct GraphBatch {
+  /// The disjoint-union view: usable anywhere a GraphTensors is expected.
+  GraphTensors merged;
+
+  /// Row range of member g in the merged node space:
+  /// [node_offset[g], node_offset[g+1]). Size num_graphs()+1.
+  std::vector<int> node_offset;
+
+  int num_graphs() const { return merged.num_graphs; }
+  int num_nodes() const { return merged.num_nodes; }
+
+  /// Builds the union. Member pointers must stay valid only for the call.
+  static GraphBatch build(const std::vector<const GraphTensors*>& parts);
+
+  /// Stacks per-member node-feature matrices [n_g, d] into [sum n_g, d]
+  /// following the same member order as build(). Copies run on the global
+  /// thread pool for large batches.
+  static Matrix stack_features(const std::vector<const Matrix*>& parts);
+
+  /// Extracts member g's rows from a merged [num_nodes, d] matrix
+  /// (round-trip testing and per-graph result scatter).
+  Matrix member_rows(const Matrix& merged_rows, int g) const;
+};
+
+}  // namespace gnnhls

@@ -54,6 +54,9 @@ GraphTensors GraphTensors::build(const IrGraph& graph) {
       gt.num_nodes > 0 ? std::max(sum / static_cast<float>(gt.num_nodes),
                                   0.1F)
                        : 1.0F;
+  gt.num_graphs = 1;
+  gt.graph_id.assign(static_cast<std::size_t>(gt.num_nodes), 0);
+  gt.graph_avg_log_deg = {gt.avg_log_deg};
   return gt;
 }
 

@@ -34,6 +34,16 @@ struct GraphTensors {
   std::vector<float> log_deg;
   float avg_log_deg = 1.0F;
 
+  // Batch segments. A GraphTensors may describe the disjoint union of
+  // several member graphs (see gnn/graph_batch.h): graph_id maps every node
+  // to its member graph and graph_avg_log_deg holds each member's PNA
+  // average so batched degree scalers stay segment-correct. A single graph
+  // is the 1-member special case (graph_id all zero), so every encoder runs
+  // the same code path batched and unbatched.
+  int num_graphs = 1;
+  std::vector<int> graph_id;               // per node, size num_nodes
+  std::vector<float> graph_avg_log_deg;    // per member graph, size num_graphs
+
   static GraphTensors build(const IrGraph& graph);
 };
 

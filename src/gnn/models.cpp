@@ -23,8 +23,11 @@ Var GraphRegressor::forward(Tape& tape, const GraphTensors& gt,
                             bool training) const {
   const Var x = tape.leaf(features);
   const Var h = encoder_->encode(tape, gt, x, rng, training);
+  // Per-graph readout over the batch segments; [num_graphs, hidden].
   const Var pooled =
-      cfg_.pooling == Pooling::kSum ? tape.sum_rows(h) : tape.mean_rows(h);
+      cfg_.pooling == Pooling::kSum
+          ? tape.segment_sum_rows(h, gt.graph_id, gt.num_graphs)
+          : tape.segment_mean_rows(h, gt.graph_id, gt.num_graphs);
   return head_->forward(tape, pooled);
 }
 
@@ -33,6 +36,18 @@ float GraphRegressor::predict(const GraphTensors& gt,
   Tape tape;
   Rng rng(0);  // dropout disabled when training=false, value unused
   return forward(tape, gt, features, rng, /*training=*/false).value()(0, 0);
+}
+
+std::vector<float> GraphRegressor::predict_batch(
+    const GraphTensors& gt, const Matrix& features) const {
+  Tape tape;
+  Rng rng(0);
+  const Var pred = forward(tape, gt, features, rng, /*training=*/false);
+  std::vector<float> out(static_cast<std::size_t>(pred.rows()));
+  for (int g = 0; g < pred.rows(); ++g) {
+    out[static_cast<std::size_t>(g)] = pred.value()(g, 0);
+  }
+  return out;
 }
 
 NodeClassifier::NodeClassifier(ModelConfig cfg, int in_dim, Rng& rng)

@@ -9,9 +9,11 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "gnn/encoders.h"
 #include "gnn/feature_encoder.h"
+#include "gnn/graph_batch.h"
 
 namespace gnnhls {
 
@@ -29,13 +31,21 @@ class GraphRegressor : public Module {
  public:
   GraphRegressor(ModelConfig cfg, int in_dim, Rng& rng);
 
-  /// Scalar prediction [1,1] in *encoded target space* (see dataset
-  /// target_transform): the trainer decodes it back to a QoR value.
+  /// Predictions [gt.num_graphs, 1] in *encoded target space* (see dataset
+  /// target_transform): the trainer decodes them back to QoR values. For a
+  /// plain single-graph GraphTensors this is the scalar [1,1] case; for a
+  /// GraphBatch's merged view, row g is the prediction for member graph g
+  /// (readout pools node embeddings per graph_id segment).
   Var forward(Tape& tape, const GraphTensors& gt, const Matrix& features,
               Rng& rng, bool training) const;
 
   /// Convenience inference (no-grad usage; still builds a throwaway tape).
   float predict(const GraphTensors& gt, const Matrix& features) const;
+
+  /// Batched inference over a merged batch view: one encoded prediction per
+  /// member graph, in member order.
+  std::vector<float> predict_batch(const GraphTensors& gt,
+                                   const Matrix& features) const;
 
   const ModelConfig& model_config() const { return cfg_; }
 

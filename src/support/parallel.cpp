@@ -1,0 +1,167 @@
+#include "support/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <memory>
+
+#include "support/check.h"
+
+namespace gnnhls {
+
+struct ThreadPool::Region {
+  std::uint64_t id = 0;
+  int begin = 0;
+  int end = 0;
+  int chunk = 1;
+  const std::function<void(int, int)>* body = nullptr;
+  std::atomic<int> next{0};       // next chunk index to claim
+  std::atomic<int> remaining{0};  // chunks not yet finished
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  std::exception_ptr error;
+  std::mutex error_mu;
+
+  int num_chunks() const { return (end - begin + chunk - 1) / chunk; }
+
+  /// Claims and runs chunks until none remain. Any thread may call this.
+  void drain() {
+    const int chunks = num_chunks();
+    for (int c = next.fetch_add(1); c < chunks; c = next.fetch_add(1)) {
+      const int lo = begin + c * chunk;
+      const int hi = std::min(lo + chunk, end);
+      try {
+        (*body)(lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!error) error = std::current_exception();
+      }
+      if (remaining.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lock(done_mu);
+        done_cv.notify_all();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 4;
+  }
+  num_threads_ = threads;
+  workers_.reserve(static_cast<std::size_t>(threads - 1));
+  for (int i = 0; i < threads - 1; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t last_seen = 0;  // region ids start at 1
+  for (;;) {
+    std::shared_ptr<Region> region;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this, last_seen] {
+        return shutdown_ || (region_ != nullptr && region_->id != last_seen);
+      });
+      if (shutdown_) return;
+      region = region_;  // shared ownership keeps the region alive
+    }
+    last_seen = region->id;
+    region->drain();
+  }
+}
+
+void ThreadPool::parallel_for(int begin, int end, int min_chunk,
+                              const std::function<void(int, int)>& body) {
+  GNNHLS_CHECK(begin <= end, "parallel_for: inverted range");
+  if (begin == end) return;
+  min_chunk = std::max(min_chunk, 1);
+  const int n = end - begin;
+  if (workers_.empty() || n <= min_chunk) {
+    body(begin, end);
+    return;
+  }
+
+  auto region = std::make_shared<Region>();
+  region->begin = begin;
+  region->end = end;
+  // Aim for a few chunks per thread (dynamic claiming smooths imbalance)
+  // while never going below the caller's grain.
+  region->chunk = std::max(min_chunk, n / (num_threads_ * 4));
+  region->body = &body;
+  region->remaining.store(region->num_chunks());
+
+  // Concurrent parallel_for callers (job-level run_parallel jobs hitting
+  // the global pool) are safe: id assignment and publication happen under
+  // mu_, and each caller drains its own region to completion regardless of
+  // whether workers ever saw it — a region displaced from the single slot
+  // merely loses worker help, never correctness.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    region->id = ++next_region_id_;
+    region_ = region;
+  }
+  work_cv_.notify_all();
+  region->drain();
+  {
+    std::unique_lock<std::mutex> lock(region->done_mu);
+    region->done_cv.wait(lock,
+                         [&region] { return region->remaining.load() == 0; });
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (region_ == region) region_ = nullptr;
+  }
+  if (region->error) std::rethrow_exception(region->error);
+}
+
+namespace {
+// Published pointer for the lock-free global() fast path; the unique_ptr
+// owns the pool, the atomic is what kernels read per call.
+std::unique_ptr<ThreadPool>& global_pool_slot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+std::atomic<ThreadPool*>& global_pool_ptr() {
+  static std::atomic<ThreadPool*> ptr{nullptr};
+  return ptr;
+}
+std::mutex& global_pool_mu() {
+  static std::mutex mu;
+  return mu;
+}
+}  // namespace
+
+ThreadPool& ThreadPool::global() {
+  ThreadPool* fast = global_pool_ptr().load(std::memory_order_acquire);
+  if (fast != nullptr) return *fast;
+  std::lock_guard<std::mutex> lock(global_pool_mu());
+  auto& slot = global_pool_slot();
+  if (!slot) slot = std::make_unique<ThreadPool>();
+  global_pool_ptr().store(slot.get(), std::memory_order_release);
+  return *slot;
+}
+
+void ThreadPool::set_global_threads(int threads) {
+  std::lock_guard<std::mutex> lock(global_pool_mu());
+  // Unpublish first so no new caller grabs the pool being torn down; the
+  // caller guarantees no kernel is mid-flight on it.
+  global_pool_ptr().store(nullptr, std::memory_order_release);
+  auto& slot = global_pool_slot();
+  slot = std::make_unique<ThreadPool>(threads);
+  global_pool_ptr().store(slot.get(), std::memory_order_release);
+}
+
+}  // namespace gnnhls

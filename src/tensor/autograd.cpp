@@ -386,6 +386,26 @@ Var Tape::segment_min(const Var& a, const std::vector<int>& idx,
   });
 }
 
+Var Tape::segment_sum_rows(const Var& a, const std::vector<int>& seg,
+                           int segments) {
+  GNNHLS_CHECK_EQ(static_cast<int>(seg.size()), a.rows(),
+                  "segment_sum_rows: one segment id per row required");
+  return scatter_add_rows(a, seg, segments);
+}
+
+Var Tape::segment_mean_rows(const Var& a, const std::vector<int>& seg,
+                            int segments) {
+  GNNHLS_CHECK_EQ(static_cast<int>(seg.size()), a.rows(),
+                  "segment_mean_rows: one segment id per row required");
+  return segment_mean(a, seg, segments);
+}
+
+Var Tape::broadcast_rows_by_segment(const Var& a,
+                                    const std::vector<int>& seg) {
+  // gather_rows bounds-checks every segment id itself.
+  return gather_rows(a, seg);
+}
+
 Var Tape::segment_softmax(const Var& a, const std::vector<int>& idx,
                           int segments) {
   GNNHLS_CHECK(a.cols() == 1, "segment_softmax: input must be [k,1]");

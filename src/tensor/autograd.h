@@ -94,6 +94,22 @@ class Tape {
   /// Softmax over the entries of each segment; a must be [k,1].
   Var segment_softmax(const Var& a, const std::vector<int>& idx, int segments);
 
+  // ----- batched-graph segment ops -----
+  // `seg` assigns every row of a to a segment (e.g. the per-node graph_id of
+  // a GraphBatch). With one segment these reduce to sum_rows / mean_rows /
+  // repeat_row bit-for-bit, which is what keeps batch_size=1 training
+  // identical to the unbatched loop.
+
+  /// out[s,:] = sum_{i: seg[i]==s} a[i,:]  ([n,m] -> [segments,m]).
+  Var segment_sum_rows(const Var& a, const std::vector<int>& seg,
+                       int segments);
+  /// out[s,:] = mean_{i: seg[i]==s} a[i,:]; empty segments yield zeros.
+  Var segment_mean_rows(const Var& a, const std::vector<int>& seg,
+                        int segments);
+  /// Inverse broadcast: out[i,:] = a[seg[i],:] for a [segments,m] input
+  /// (virtual-node encoders); backward sums each segment's rows.
+  Var broadcast_rows_by_segment(const Var& a, const std::vector<int>& seg);
+
   // ----- shape ops -----
   Var concat_cols(const std::vector<Var>& parts);
   Var slice_cols(const Var& a, int begin, int end);

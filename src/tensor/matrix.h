@@ -76,6 +76,16 @@ class Matrix {
   std::vector<float> data_;
 };
 
+/// Opt-in allocator tuning for tensor-churn workloads (training loops):
+/// raises glibc's mmap/trim thresholds so large activation/gradient
+/// buffers recycle on the heap instead of round-tripping through mmap.
+/// Idempotent; a no-op off glibc. Trades resident-set retention for step
+/// latency, so it is called from training entry points (QorPredictor::fit,
+/// NodeTypePredictor::fit, the bench harness) rather than applied to every
+/// linking process; call it yourself if you drive training loops directly
+/// through Adam/GraphRegressor.
+void tune_malloc_for_tensor_workloads();
+
 /// out = a * b. Naive but cache-friendly (i-k-j order).
 Matrix matmul(const Matrix& a, const Matrix& b);
 /// out = a^T * b (avoids materializing the transpose).

@@ -1,0 +1,461 @@
+// Batched graph execution engine tests: segment-op gradients, GraphBatch
+// disjoint-union round trips across the encoder zoo, thread-pool kernels
+// and mini-batched training.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/predictor.h"
+#include "dataset/dataset.h"
+#include "gnn/graph_batch.h"
+#include "gnn/models.h"
+#include "grad_check.h"
+#include "support/parallel.h"
+
+namespace gnnhls {
+namespace {
+
+using testing::expect_gradient_matches;
+
+Matrix make_test_matrix(int rows, int cols, float scale = 1.0F) {
+  Matrix m(rows, cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      m(r, c) = scale * (0.31F * static_cast<float>(r) -
+                         0.17F * static_cast<float>(c) + 0.05F);
+    }
+  }
+  return m;
+}
+
+// ----- segment-op gradients -----
+
+TEST(SegmentOpsTest, SegmentSumRowsForwardAndGrad) {
+  const std::vector<int> seg = {0, 1, 0, 2, 1};
+  Tape tape;
+  const Var a = tape.leaf(make_test_matrix(5, 3));
+  const Var out = tape.segment_sum_rows(a, seg, 3);
+  ASSERT_EQ(out.rows(), 3);
+  ASSERT_EQ(out.cols(), 3);
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_FLOAT_EQ(out.value()(0, j),
+                    a.value()(0, j) + a.value()(2, j));
+    EXPECT_FLOAT_EQ(out.value()(1, j),
+                    a.value()(1, j) + a.value()(4, j));
+    EXPECT_FLOAT_EQ(out.value()(2, j), a.value()(3, j));
+  }
+  expect_gradient_matches(make_test_matrix(5, 3), [&](Tape& t, const Var& x) {
+    const Var s = t.segment_sum_rows(x, seg, 3);
+    return t.sum_all(t.mul(s, s));
+  });
+}
+
+TEST(SegmentOpsTest, SegmentMeanRowsGradAndEmptySegment) {
+  const std::vector<int> seg = {0, 0, 2, 2, 2};  // segment 1 empty
+  Tape tape;
+  const Var a = tape.leaf(make_test_matrix(5, 2));
+  const Var out = tape.segment_mean_rows(a, seg, 3);
+  ASSERT_EQ(out.rows(), 3);
+  EXPECT_FLOAT_EQ(out.value()(1, 0), 0.0F);  // empty segment -> zeros
+  EXPECT_FLOAT_EQ(out.value()(0, 1),
+                  (a.value()(0, 1) + a.value()(1, 1)) / 2.0F);
+  expect_gradient_matches(make_test_matrix(5, 2), [&](Tape& t, const Var& x) {
+    const Var s = t.segment_mean_rows(x, seg, 3);
+    return t.sum_all(t.mul(s, s));
+  });
+}
+
+TEST(SegmentOpsTest, BroadcastRowsBySegmentGrad) {
+  const std::vector<int> seg = {0, 1, 0, 2, 1, 2};
+  Tape tape;
+  const Var a = tape.leaf(make_test_matrix(3, 4));
+  const Var out = tape.broadcast_rows_by_segment(a, seg);
+  ASSERT_EQ(out.rows(), 6);
+  for (std::size_t i = 0; i < seg.size(); ++i) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_FLOAT_EQ(out.value()(static_cast<int>(i), j),
+                      a.value()(seg[i], j));
+    }
+  }
+  expect_gradient_matches(make_test_matrix(3, 4), [&](Tape& t, const Var& x) {
+    const Var b = t.broadcast_rows_by_segment(x, seg);
+    return t.sum_all(t.mul(b, b));
+  });
+}
+
+TEST(SegmentOpsTest, SingleSegmentMatchesWholeMatrixOps) {
+  const Matrix input = make_test_matrix(7, 3);
+  const std::vector<int> seg(7, 0);
+  Tape tape;
+  const Var a = tape.leaf(input);
+  const Matrix seg_sum = tape.segment_sum_rows(a, seg, 1).value();
+  const Matrix plain_sum = tape.sum_rows(a).value();
+  EXPECT_TRUE(seg_sum == plain_sum);  // bitwise: same accumulation order
+  const Matrix seg_mean = tape.segment_mean_rows(a, seg, 1).value();
+  const Matrix plain_mean = tape.mean_rows(a).value();
+  EXPECT_TRUE(seg_mean == plain_mean);
+}
+
+TEST(SegmentOpsTest, BroadcastRejectsOutOfRangeSegment) {
+  Tape tape;
+  const Var a = tape.leaf(make_test_matrix(2, 2));
+  EXPECT_THROW(tape.broadcast_rows_by_segment(a, {0, 2}),
+               std::invalid_argument);
+}
+
+// ----- GraphBatch structure -----
+
+std::vector<Sample> batch_samples() {
+  std::vector<Sample> out;
+  out.push_back(make_sample(generate_cdfg_program(11), GraphKind::kCdfg,
+                            HlsConfig{}, "b0"));
+  out.push_back(make_sample(generate_dfg_program(13), GraphKind::kDfg,
+                            HlsConfig{}, "b1"));
+  out.push_back(make_sample(generate_cdfg_program(29), GraphKind::kCdfg,
+                            HlsConfig{}, "b2"));
+  return out;
+}
+
+TEST(GraphBatchTest, DisjointUnionStructure) {
+  const auto samples = batch_samples();
+  const GraphBatch batch = GraphBatch::build(
+      {&samples[0].tensors, &samples[1].tensors, &samples[2].tensors});
+  const GraphTensors& m = batch.merged;
+
+  int nodes = 0;
+  std::size_t edges = 0;
+  for (const auto& s : samples) {
+    nodes += s.tensors.num_nodes;
+    edges += s.tensors.src.size();
+  }
+  EXPECT_EQ(m.num_nodes, nodes);
+  EXPECT_EQ(m.src.size(), edges);
+  EXPECT_EQ(m.num_graphs, 3);
+  ASSERT_EQ(batch.node_offset.size(), 4U);
+  EXPECT_EQ(batch.node_offset[0], 0);
+  EXPECT_EQ(batch.node_offset[3], nodes);
+
+  // Every edge stays inside its member graph's node range.
+  for (std::size_t e = 0; e < m.src.size(); ++e) {
+    const int gs = m.graph_id[static_cast<std::size_t>(m.src[e])];
+    const int gd = m.graph_id[static_cast<std::size_t>(m.dst[e])];
+    EXPECT_EQ(gs, gd);
+  }
+  // graph_id segments follow node_offset.
+  for (int g = 0; g < 3; ++g) {
+    for (int v = batch.node_offset[static_cast<std::size_t>(g)];
+         v < batch.node_offset[static_cast<std::size_t>(g) + 1]; ++v) {
+      EXPECT_EQ(m.graph_id[static_cast<std::size_t>(v)], g);
+    }
+  }
+  // Relation partition still covers every edge exactly once.
+  std::size_t rel_total = 0;
+  for (const auto& rel : m.relation_edges) {
+    for (int e : rel) {
+      ASSERT_GE(e, 0);
+      ASSERT_LT(static_cast<std::size_t>(e), m.src.size());
+    }
+    rel_total += rel.size();
+  }
+  EXPECT_EQ(rel_total, edges);
+  // Per-member PNA averages preserved.
+  ASSERT_EQ(m.graph_avg_log_deg.size(), 3U);
+  for (int g = 0; g < 3; ++g) {
+    EXPECT_FLOAT_EQ(m.graph_avg_log_deg[static_cast<std::size_t>(g)],
+                    samples[static_cast<std::size_t>(g)].tensors.avg_log_deg);
+  }
+}
+
+TEST(GraphBatchTest, StackFeaturesRoundTrip) {
+  const auto samples = batch_samples();
+  std::vector<Matrix> feats;
+  std::vector<const Matrix*> fparts;
+  std::vector<const GraphTensors*> parts;
+  for (const auto& s : samples) {
+    feats.push_back(
+        InputFeatureBuilder::build(s.graph(), Approach::kOffTheShelf));
+    parts.push_back(&s.tensors);
+  }
+  for (const Matrix& f : feats) fparts.push_back(&f);
+  const GraphBatch batch = GraphBatch::build(parts);
+  const Matrix stacked = GraphBatch::stack_features(fparts);
+  ASSERT_EQ(stacked.rows(), batch.num_nodes());
+  for (int g = 0; g < batch.num_graphs(); ++g) {
+    const Matrix back = batch.member_rows(stacked, g);
+    EXPECT_TRUE(back == feats[static_cast<std::size_t>(g)]);
+  }
+}
+
+// ----- batched == per-graph across the encoder zoo -----
+
+class BatchRoundTripTest : public ::testing::TestWithParam<GnnKind> {};
+
+TEST_P(BatchRoundTripTest, BatchedEncodeMatchesPerGraph) {
+  const auto samples = batch_samples();
+  Rng rng(17);
+  EncoderConfig cfg;
+  cfg.in_dim = InputFeatureBuilder::feature_dim(Approach::kOffTheShelf);
+  cfg.hidden = 16;
+  cfg.layers = 2;
+  const auto enc = make_encoder(GetParam(), cfg, rng);
+
+  std::vector<Matrix> feats;
+  std::vector<const Matrix*> fparts;
+  std::vector<const GraphTensors*> parts;
+  for (const auto& s : samples) {
+    feats.push_back(
+        InputFeatureBuilder::build(s.graph(), Approach::kOffTheShelf));
+    parts.push_back(&s.tensors);
+  }
+  for (const Matrix& f : feats) fparts.push_back(&f);
+  const GraphBatch batch = GraphBatch::build(parts);
+
+  Tape batch_tape;
+  Rng drop(1);
+  const Matrix batched =
+      enc->encode(batch_tape, batch.merged,
+                  batch_tape.leaf(GraphBatch::stack_features(fparts)), drop,
+                  false)
+          .value();
+  ASSERT_EQ(batched.rows(), batch.num_nodes());
+
+  for (std::size_t g = 0; g < samples.size(); ++g) {
+    Tape tape;
+    Rng d(1);
+    const Matrix single =
+        enc->encode(tape, samples[g].tensors, tape.leaf(feats[g]), d, false)
+            .value();
+    const Matrix member = batch.member_rows(batched, static_cast<int>(g));
+    ASSERT_TRUE(single.same_shape(member));
+    for (int i = 0; i < single.rows(); ++i) {
+      for (int j = 0; j < single.cols(); ++j) {
+        EXPECT_NEAR(single(i, j), member(i, j), 1e-4F)
+            << gnn_kind_name(GetParam()) << " graph " << g << " node " << i;
+      }
+    }
+  }
+}
+
+TEST_P(BatchRoundTripTest, RegressorBatchPredictionsMatchPerGraph) {
+  const auto samples = batch_samples();
+  Rng rng(23);
+  ModelConfig cfg;
+  cfg.kind = GetParam();
+  cfg.hidden = 16;
+  cfg.layers = 2;
+  GraphRegressor model(
+      cfg, InputFeatureBuilder::feature_dim(Approach::kOffTheShelf), rng);
+
+  std::vector<Matrix> feats;
+  std::vector<const Matrix*> fparts;
+  std::vector<const GraphTensors*> parts;
+  for (const auto& s : samples) {
+    feats.push_back(
+        InputFeatureBuilder::build(s.graph(), Approach::kOffTheShelf));
+    parts.push_back(&s.tensors);
+  }
+  for (const Matrix& f : feats) fparts.push_back(&f);
+  const GraphBatch batch = GraphBatch::build(parts);
+  const std::vector<float> batched =
+      model.predict_batch(batch.merged, GraphBatch::stack_features(fparts));
+  ASSERT_EQ(batched.size(), samples.size());
+  for (std::size_t g = 0; g < samples.size(); ++g) {
+    const float single = model.predict(samples[g].tensors, feats[g]);
+    EXPECT_NEAR(batched[g], single, 1e-4F) << gnn_kind_name(GetParam());
+  }
+}
+
+TEST_P(BatchRoundTripTest, BatchedTrainStepBackpropagates) {
+  const auto samples = batch_samples();
+  Rng rng(41);
+  ModelConfig cfg;
+  cfg.kind = GetParam();
+  cfg.hidden = 16;
+  cfg.layers = 2;
+  GraphRegressor model(
+      cfg, InputFeatureBuilder::feature_dim(Approach::kOffTheShelf), rng);
+
+  std::vector<Matrix> feats;
+  std::vector<const Matrix*> fparts;
+  std::vector<const GraphTensors*> parts;
+  for (const auto& s : samples) {
+    feats.push_back(
+        InputFeatureBuilder::build(s.graph(), Approach::kOffTheShelf));
+    parts.push_back(&s.tensors);
+  }
+  for (const Matrix& f : feats) fparts.push_back(&f);
+  const GraphBatch batch = GraphBatch::build(parts);
+  const Matrix stacked = GraphBatch::stack_features(fparts);
+  const Matrix target(batch.num_graphs(), 1, 2.0F);
+
+  Tape tape;
+  Rng drop(1);
+  const Var pred = model.forward(tape, batch.merged, stacked, drop, true);
+  ASSERT_EQ(pred.rows(), batch.num_graphs());
+  tape.backward(tape.mse_loss(pred, target));
+  int with_grad = 0;
+  for (const auto* p : model.parameters()) {
+    const double norm = p->var().grad().squared_norm();
+    EXPECT_TRUE(std::isfinite(norm));
+    if (norm > 0.0) ++with_grad;
+  }
+  // Gradient must reach most parameter tensors through the batched tape
+  // (some relation weights legitimately get none if a relation is absent).
+  EXPECT_GT(with_grad, static_cast<int>(model.parameters().size()) / 2)
+      << gnn_kind_name(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, BatchRoundTripTest, ::testing::ValuesIn(all_gnn_kinds()),
+    [](const ::testing::TestParamInfo<GnnKind>& info) {
+      std::string name = gnn_kind_name(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(BatchRoundTripTest, SingletonBatchIsBitwiseIdentical) {
+  const auto samples = batch_samples();
+  Rng rng(31);
+  ModelConfig cfg;
+  cfg.kind = GnnKind::kGcnVirtual;  // exercises the virtual-node path
+  cfg.hidden = 16;
+  cfg.layers = 2;
+  GraphRegressor model(
+      cfg, InputFeatureBuilder::feature_dim(Approach::kOffTheShelf), rng);
+  const Matrix feats =
+      InputFeatureBuilder::build(samples[0].graph(), Approach::kOffTheShelf);
+  const GraphBatch batch = GraphBatch::build({&samples[0].tensors});
+  const Matrix stacked = GraphBatch::stack_features({&feats});
+  EXPECT_EQ(model.predict(batch.merged, stacked),
+            model.predict(samples[0].tensors, feats));
+}
+
+// ----- thread pool -----
+
+TEST(ThreadPoolTest, ParallelForCoversRangeOnce) {
+  ThreadPool pool(4);
+  std::vector<int> hits(1000, 0);
+  pool.parallel_for(0, 1000, 1, [&](int lo, int hi) {
+    for (int i = lo; i < hi; ++i) ++hits[static_cast<std::size_t>(i)];
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, PropagatesBodyException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(0, 100, 1,
+                                 [&](int lo, int) {
+                                   if (lo == 0) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+  // The pool must stay usable after an exception.
+  int sum = 0;
+  std::mutex mu;
+  pool.parallel_for(0, 10, 1, [&](int lo, int hi) {
+    std::lock_guard<std::mutex> lock(mu);
+    for (int i = lo; i < hi; ++i) sum += i;
+  });
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(ThreadPoolTest, MatmulBitwiseIdenticalAcrossThreadCounts) {
+  Rng rng(5);
+  const Matrix a = Matrix::randn(93, 77, rng);
+  const Matrix b = Matrix::randn(77, 85, rng);
+  const Matrix c = Matrix::randn(93, 41, rng);  // for a^T * c
+  ThreadPool::set_global_threads(1);
+  const Matrix serial = matmul(a, b);
+  const Matrix serial_ta = matmul_transpose_a(a, c);
+  ThreadPool::set_global_threads(4);
+  const Matrix parallel = matmul(a, b);
+  EXPECT_TRUE(serial == parallel);
+  const Matrix parallel_ta = matmul_transpose_a(a, c);
+  EXPECT_TRUE(serial_ta == parallel_ta);
+  ThreadPool::set_global_threads(0);  // restore default
+}
+
+TEST(MatmulTest, SparseOperandMatchesDense) {
+  Rng rng(7);
+  Matrix a = Matrix::randn(40, 30, rng);
+  // Zero out ~70% of a to trigger the sparse skip path.
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (i % 10 < 7) a.data()[i] = 0.0F;
+  }
+  const Matrix b = Matrix::randn(30, 25, rng);
+  const Matrix fast = matmul(a, b);
+  // Dense reference computed by hand.
+  Matrix ref(40, 25);
+  for (int i = 0; i < 40; ++i) {
+    for (int k = 0; k < 30; ++k) {
+      for (int j = 0; j < 25; ++j) ref(i, j) += a(i, k) * b(k, j);
+    }
+  }
+  for (int i = 0; i < ref.rows(); ++i) {
+    for (int j = 0; j < ref.cols(); ++j) {
+      EXPECT_NEAR(ref(i, j), fast(i, j), 1e-4F);
+    }
+  }
+}
+
+// ----- mini-batched training end to end -----
+
+TEST(BatchedTrainingTest, BatchSizeAboveOneLearns) {
+  SyntheticDatasetConfig dcfg;
+  dcfg.kind = GraphKind::kDfg;
+  dcfg.num_graphs = 64;
+  dcfg.seed = 4321;
+  dcfg.progen.min_ops = 10;
+  dcfg.progen.max_ops = 30;
+  const auto samples = build_synthetic_dataset(dcfg);
+  const SplitIndices split =
+      split_80_10_10(static_cast<int>(samples.size()), 5);
+
+  ModelConfig mc;
+  mc.kind = GnnKind::kGcn;
+  mc.hidden = 16;
+  mc.layers = 2;
+  TrainConfig tc;
+  tc.epochs = 40;
+  tc.lr = 1e-2F;
+  tc.seed = 77;
+  tc.batch_size = 8;
+  QorPredictor predictor(Approach::kOffTheShelf, mc, tc);
+  const double val = predictor.fit(samples, split, Metric::kLut);
+  EXPECT_TRUE(std::isfinite(val));
+  EXPECT_LT(predictor.evaluate_mape(samples, split.test), 0.8);
+}
+
+TEST(BatchedTrainingTest, HierarchicalPathTrainsBatched) {
+  SyntheticDatasetConfig dcfg;
+  dcfg.kind = GraphKind::kDfg;
+  dcfg.num_graphs = 32;
+  dcfg.seed = 999;
+  dcfg.progen.min_ops = 8;
+  dcfg.progen.max_ops = 24;
+  const auto samples = build_synthetic_dataset(dcfg);
+  const SplitIndices split =
+      split_80_10_10(static_cast<int>(samples.size()), 3);
+
+  ModelConfig mc;
+  mc.kind = GnnKind::kGcn;
+  mc.hidden = 12;
+  mc.layers = 2;
+  TrainConfig tc;
+  tc.epochs = 10;
+  tc.lr = 1e-2F;
+  tc.seed = 7;
+  tc.batch_size = 4;
+  QorPredictor predictor(Approach::kKnowledgeInfused, mc, tc);
+  predictor.fit(samples, split, Metric::kLut);
+  for (int i : split.test) {
+    const double p = predictor.predict(samples[static_cast<std::size_t>(i)]);
+    EXPECT_TRUE(std::isfinite(p));
+  }
+}
+
+}  // namespace
+}  // namespace gnnhls
