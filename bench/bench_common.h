@@ -34,6 +34,7 @@ struct BenchConfig {
   int keep_best = 1;
   int threads = 0;     // 0 = hardware_concurrency
   int batch_size = 1;  // graphs per SGD step (1 = legacy accumulation loop)
+  int grad_accum = 1;  // batches merged per Adam step (gives shards work)
   std::uint64_t seed = 1;
 };
 
@@ -70,19 +71,24 @@ inline BenchConfig parse_bench_config(int argc, const char* const* argv) {
   cfg.keep_best = flags.get_int("best", cfg.keep_best);
   cfg.threads = flags.get_int("threads", cfg.threads);
   cfg.batch_size = flags.get_int("batch-size", cfg.batch_size);
+  cfg.grad_accum = flags.get_int("grad-accum", cfg.grad_accum);
   cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   flags.check_all_consumed();
   if (cfg.threads <= 0) {
     cfg.threads = static_cast<int>(std::thread::hardware_concurrency());
     if (cfg.threads <= 0) cfg.threads = 4;
   }
-  // The table benches saturate cores with job-level run_parallel(threads),
-  // so the kernel pool stays at one thread — stacking row-parallel matmul
-  // on top would oversubscribe every core by up to threads x threads and
-  // hammer the shared pool from every job at once. This also pins
-  // --threads=1 to fully-serial kernels (deterministic single-job timing);
-  // kernel-level parallelism is measured by bench_micro, which keeps the
-  // default hardware-concurrency pool.
+  // --threads=N bounds every parallelism layer: job-level run_parallel
+  // width, the Trainer's shard count (see train_config), and the kernel
+  // thread pool. The table benches saturate cores with job-level
+  // run_parallel(threads), so the kernel pool stays at one thread —
+  // stacking row-parallel matmul or shard workers on top would
+  // oversubscribe every core by up to threads x threads and hammer the
+  // shared pool from every job at once; Trainer shards are numerics-neutral
+  // by design, so they simply run inline on the one-thread pool. This also
+  // pins --threads=1 to fully-serial kernels (deterministic single-job
+  // timing); kernel- and shard-level parallelism is measured by bench_micro
+  // (--threads there sizes the pool itself).
   ThreadPool::set_global_threads(1);
   tune_malloc_for_tensor_workloads();
   return cfg;
@@ -101,6 +107,11 @@ inline TrainConfig train_config(const BenchConfig& cfg) {
   tc.epochs = cfg.epochs;
   tc.lr = cfg.lr;
   tc.batch_size = cfg.batch_size;
+  tc.grad_accum = cfg.grad_accum;
+  // Shard width follows --threads. Results are bit-identical at any shard
+  // count (the Trainer's determinism contract), so this only decides where
+  // epoch work may run, never what the tables report.
+  tc.shards = cfg.threads;
   tc.seed = cfg.seed;
   return tc;
 }

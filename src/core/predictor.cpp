@@ -1,125 +1,43 @@
 #include "core/predictor.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "gnn/graph_batch.h"
+#include "train/feature_cache.h"
 
 namespace gnnhls {
 
 namespace {
 
-/// Step learning-rate decay: full rate for the first 60% of epochs, then
-/// 0.3x, then 0.1x for the last 15% (stabilizes the best-epoch selection).
-float lr_at_epoch(float base_lr, int epoch, int total_epochs) {
-  const double progress =
-      static_cast<double>(epoch) / std::max(total_epochs, 1);
-  if (progress < 0.6) return base_lr;
-  if (progress < 0.85) return base_lr * 0.3F;
-  return base_lr * 0.1F;
+/// Classifier training hooks shared by QorPredictor -I and
+/// NodeTypePredictor: BCE over the three binary type tasks.
+Trainer::Hooks classifier_hooks(const NodeClassifier& classifier) {
+  Trainer::Hooks hooks;
+  hooks.forward = [&classifier](Tape& tape, const GraphTensors& gt,
+                                const Matrix& feats, Rng& rng) {
+    return classifier.forward(tape, gt, feats, rng, true);
+  };
+  hooks.loss = [](Tape& tape, const Var& logits, const Matrix& labels) {
+    return tape.bce_with_logits_loss(logits, labels);
+  };
+  return hooks;
 }
 
-/// Batch views of samples[chunk]: tensors for GraphBatch::build and row
-/// matrices (features or labels) for GraphBatch::stack_features.
-std::vector<const GraphTensors*> chunk_tensors(
-    const std::vector<Sample>& samples, const std::vector<int>& order,
-    std::size_t begin, std::size_t end) {
-  std::vector<const GraphTensors*> parts;
-  parts.reserve(end - begin);
-  for (std::size_t i = begin; i < end; ++i) {
-    parts.push_back(&samples[static_cast<std::size_t>(order[i])].tensors);
-  }
-  return parts;
-}
-
-std::vector<const Matrix*> chunk_rows(const std::vector<Matrix>& per_sample,
-                                      const std::vector<int>& order,
-                                      std::size_t begin, std::size_t end) {
-  std::vector<const Matrix*> parts;
-  parts.reserve(end - begin);
-  for (std::size_t i = begin; i < end; ++i) {
-    parts.push_back(&per_sample[static_cast<std::size_t>(order[i])]);
-  }
-  return parts;
-}
-
-/// One training epoch over `order`, shared by every fit loop. batch_size<=1
-/// runs the legacy per-graph tape with gradient accumulation every
-/// batch_graphs (bit-for-bit the pre-batching trajectory); otherwise each
-/// [begin,end) chunk of `order` is one mini-batch tape and optimizer step.
-/// per_graph(idx) / per_batch(begin,end) build the tape and run backward.
-template <typename PerGraph, typename PerBatch>
-void run_epoch(const std::vector<int>& order, int batch_size,
-               int batch_graphs, Adam& opt, PerGraph&& per_graph,
-               PerBatch&& per_batch) {
-  if (batch_size <= 1) {
-    int accumulated = 0;
-    for (int idx : order) {
-      per_graph(idx);
-      if (++accumulated >= batch_graphs) {
-        opt.step();
-        accumulated = 0;
-      }
-    }
-    if (accumulated > 0) opt.step();
-  } else {
-    const std::size_t bs = static_cast<std::size_t>(batch_size);
-    for (std::size_t pos = 0; pos < order.size(); pos += bs) {
-      per_batch(pos, std::min(pos + bs, order.size()));
-      opt.step();
-    }
-  }
-}
-
-// ----- shared classifier training (QorPredictor -I and NodeTypePredictor) --
-
-struct ClassifierData {
-  std::vector<Matrix> feats, labels;  // indexed by sample position
-};
-
-ClassifierData build_classifier_data(const std::vector<Sample>& samples,
-                                     const std::vector<int>& idx) {
-  ClassifierData data;
-  data.feats.resize(samples.size());
-  data.labels.resize(samples.size());
-  for (int i : idx) {
-    const Sample& s = samples[static_cast<std::size_t>(i)];
-    data.feats[static_cast<std::size_t>(i)] =
-        InputFeatureBuilder::build(s.graph(), Approach::kOffTheShelf);
-    data.labels[static_cast<std::size_t>(i)] =
-        InputFeatureBuilder::node_type_labels(s.graph());
-  }
-  return data;
-}
-
-void run_classifier_epoch(const NodeClassifier& classifier, Adam& opt,
-                          const std::vector<Sample>& samples,
-                          const ClassifierData& data,
-                          const std::vector<int>& order,
-                          const TrainConfig& tc, Rng& dropout_rng) {
-  run_epoch(
-      order, tc.batch_size, tc.batch_graphs, opt,
-      [&](int idx) {
-        const Sample& s = samples[static_cast<std::size_t>(idx)];
-        Tape tape;
-        const Var logits = classifier.forward(
-            tape, s.tensors, data.feats[static_cast<std::size_t>(idx)],
-            dropout_rng, true);
-        tape.backward(tape.bce_with_logits_loss(
-            logits, data.labels[static_cast<std::size_t>(idx)]));
+/// Classifier data plan: off-the-shelf features, node-type label rows —
+/// both served from the FeatureCache.
+BatchPlan classifier_plan(const std::vector<Sample>& samples,
+                          const std::vector<int>& train_idx,
+                          const TrainConfig& tc) {
+  return BatchPlan::build(
+      samples, train_idx, tc.batch_size,
+      [](const Sample& s) -> const Matrix& {
+        return FeatureCache::global().features(s, Approach::kOffTheShelf);
       },
-      [&](std::size_t pos, std::size_t end) {
-        const GraphBatch batch =
-            GraphBatch::build(chunk_tensors(samples, order, pos, end));
-        const Matrix batch_feats = GraphBatch::stack_features(
-            chunk_rows(data.feats, order, pos, end));
-        const Matrix batch_labels = GraphBatch::stack_features(
-            chunk_rows(data.labels, order, pos, end));
-        Tape tape;
-        const Var logits = classifier.forward(tape, batch.merged,
-                                              batch_feats, dropout_rng,
-                                              true);
-        tape.backward(tape.bce_with_logits_loss(logits, batch_labels));
-      });
+      [](const Sample& s) {
+        return FeatureCache::global().node_type_labels(s);
+      },
+      Rng(tc.seed * 31 + 7));
 }
 
 }  // namespace
@@ -146,20 +64,17 @@ QorPredictor::QorPredictor(Approach approach, ModelConfig model_cfg,
       train_cfg_(train_cfg),
       infused_(infused) {}
 
-Matrix QorPredictor::training_features(const Sample& s) const {
-  // -I trains on ground-truth type bits (knowledge infusion).
-  return InputFeatureBuilder::build(s.graph(), approach_);
+bool QorPredictor::pure_inference_features() const {
+  return approach_ != Approach::kKnowledgeInfused ||
+         infused_ == InfusedInference::kOracle;
 }
 
-Matrix QorPredictor::inference_features(const Sample& s) const {
-  if (approach_ != Approach::kKnowledgeInfused ||
-      infused_ == InfusedInference::kOracle) {
-    return InputFeatureBuilder::build(s.graph(), approach_);
-  }
+Matrix QorPredictor::infused_features(const Sample& s) const {
   // Hierarchical inference: self-inferred resource types replace labels.
+  // Only the classifier-independent base features are cacheable.
   GNNHLS_CHECK(classifier_ != nullptr, "predict before fit");
-  const Matrix base = InputFeatureBuilder::build(
-      s.graph(), Approach::kOffTheShelf);
+  const Matrix& base =
+      FeatureCache::global().features(s, Approach::kOffTheShelf);
   const auto inferred = classifier_->infer_types(s.tensors, base);
   return InputFeatureBuilder::build(s.graph(), approach_, &inferred);
 }
@@ -170,20 +85,10 @@ void QorPredictor::fit_classifier(const std::vector<Sample>& samples,
   classifier_ = std::make_unique<NodeClassifier>(
       model_cfg_, InputFeatureBuilder::feature_dim(Approach::kOffTheShelf),
       init_rng);
-  Adam opt(*classifier_, AdamConfig{.lr = train_cfg_.lr,
-                                    .weight_decay = train_cfg_.weight_decay,
-                                    .grad_clip = train_cfg_.grad_clip});
-  Rng order_rng(train_cfg_.seed * 31 + 7);
-  Rng dropout_rng(train_cfg_.seed * 17 + 3);
-  std::vector<int> order = train_idx;
-  const ClassifierData data = build_classifier_data(samples, train_idx);
-
-  for (int epoch = 0; epoch < train_cfg_.epochs; ++epoch) {
-    opt.set_lr(lr_at_epoch(train_cfg_.lr, epoch, train_cfg_.epochs));
-    order_rng.shuffle(order);
-    run_classifier_epoch(*classifier_, opt, samples, data, order, train_cfg_,
-                         dropout_rng);
-  }
+  BatchPlan plan = classifier_plan(samples, train_idx, train_cfg_);
+  Trainer trainer(*classifier_, train_cfg_, classifier_hooks(*classifier_),
+                  train_cfg_.seed * 17 + 3);
+  trainer.fit(plan, nullptr);  // -I keeps the last classifier epoch
 }
 
 double QorPredictor::fit(const std::vector<Sample>& samples,
@@ -201,60 +106,34 @@ double QorPredictor::fit(const std::vector<Sample>& samples,
   Rng init_rng(train_cfg_.seed * 104729 + static_cast<int>(metric));
   regressor_ = std::make_unique<GraphRegressor>(
       model_cfg_, InputFeatureBuilder::feature_dim(approach_), init_rng);
-  Adam opt(*regressor_, AdamConfig{.lr = train_cfg_.lr,
-                                   .weight_decay = train_cfg_.weight_decay,
-                                   .grad_clip = train_cfg_.grad_clip});
 
-  // Pre-encode targets and cache training features.
-  std::vector<Matrix> feats(samples.size());
-  std::vector<float> targets(samples.size(), 0.0F);
-  for (int idx : split.train) {
-    const Sample& s = samples[static_cast<std::size_t>(idx)];
-    feats[static_cast<std::size_t>(idx)] = training_features(s);
-    targets[static_cast<std::size_t>(idx)] =
-        encode_target(metric_of(s.truth, metric), metric);
-  }
+  // -I trains on ground-truth type bits (knowledge infusion), so training
+  // features are a pure function of (sample, approach) for every approach
+  // and come from the FeatureCache.
+  BatchPlan plan = BatchPlan::build(
+      samples, split.train, train_cfg_.batch_size,
+      [this](const Sample& s) -> const Matrix& {
+        return FeatureCache::global().features(s, approach_);
+      },
+      [this, metric](const Sample& s) {
+        return Matrix(1, 1, encode_target(metric_of(s.truth, metric), metric));
+      },
+      Rng(train_cfg_.seed * 31 + 1));
 
-  Rng order_rng(train_cfg_.seed * 31 + 1);
-  Rng dropout_rng(train_cfg_.seed * 17 + 2);
-  std::vector<int> order = split.train;
+  Trainer::Hooks hooks;
+  hooks.forward = [this](Tape& tape, const GraphTensors& gt,
+                         const Matrix& feats, Rng& rng) {
+    return regressor_->forward(tape, gt, feats, rng, true);
+  };
+  hooks.loss = [](Tape& tape, const Var& pred, const Matrix& target) {
+    // One prediction row per member graph; MSE averages over the batch.
+    return tape.mse_loss(pred, target);
+  };
+  Trainer trainer(*regressor_, train_cfg_, hooks, train_cfg_.seed * 17 + 2);
+
   double best_val = std::numeric_limits<double>::infinity();
   std::vector<Matrix> best_params;
-
-  for (int epoch = 0; epoch < train_cfg_.epochs; ++epoch) {
-    opt.set_lr(lr_at_epoch(train_cfg_.lr, epoch, train_cfg_.epochs));
-    order_rng.shuffle(order);
-    run_epoch(
-        order, train_cfg_.batch_size, train_cfg_.batch_graphs, opt,
-        [&](int idx) {
-          const Sample& s = samples[static_cast<std::size_t>(idx)];
-          Tape tape;
-          const Var pred =
-              regressor_->forward(tape, s.tensors,
-                                  feats[static_cast<std::size_t>(idx)],
-                                  dropout_rng, true);
-          Matrix target(1, 1, targets[static_cast<std::size_t>(idx)]);
-          tape.backward(tape.mse_loss(pred, target));
-        },
-        [&](std::size_t pos, std::size_t end) {
-          // Forward yields one prediction row per member graph; MSE
-          // averages over the batch.
-          const GraphBatch batch =
-              GraphBatch::build(chunk_tensors(samples, order, pos, end));
-          const Matrix batch_feats =
-              GraphBatch::stack_features(chunk_rows(feats, order, pos, end));
-          Matrix target(static_cast<int>(end - pos), 1);
-          for (std::size_t i = pos; i < end; ++i) {
-            target(static_cast<int>(i - pos), 0) =
-                targets[static_cast<std::size_t>(order[i])];
-          }
-          Tape tape;
-          const Var pred = regressor_->forward(tape, batch.merged,
-                                               batch_feats, dropout_rng,
-                                               true);
-          tape.backward(tape.mse_loss(pred, target));
-        });
-
+  trainer.fit(plan, [&](int /*epoch*/) {
     // Validation model selection. NOTE: -I validates through the full
     // hierarchical path (classifier bits), matching deployment.
     const double val = evaluate_mape(samples, split.val);
@@ -262,7 +141,7 @@ double QorPredictor::fit(const std::vector<Sample>& samples,
       best_val = val;
       best_params = snapshot_parameters(*regressor_);
     }
-  }
+  });
   if (!best_params.empty()) restore_parameters(*regressor_, best_params);
   return best_val;
 }
@@ -270,7 +149,11 @@ double QorPredictor::fit(const std::vector<Sample>& samples,
 double QorPredictor::predict(const Sample& sample) const {
   GNNHLS_CHECK(regressor_ != nullptr, "predict before fit");
   const float encoded =
-      regressor_->predict(sample.tensors, inference_features(sample));
+      pure_inference_features()
+          ? regressor_->predict(
+                sample.tensors,
+                FeatureCache::global().features(sample, approach_))
+          : regressor_->predict(sample.tensors, infused_features(sample));
   return decode_target(encoded, metric_);
 }
 
@@ -289,26 +172,37 @@ double QorPredictor::evaluate_mape(const std::vector<Sample>& samples,
       truth.push_back(metric_of(s.truth, metric_));
     }
   } else {
-    // Batched inference: features may be per-sample (hierarchical -I path
-    // runs the classifier per sample) but the regressor runs per batch.
+    // Batched inference. On the pure path the stacked features point
+    // straight into the FeatureCache (zero rebuild, zero copy); the
+    // hierarchical -I path runs the classifier per sample and owns its
+    // feature matrices for the duration of the batch.
+    const bool pure = pure_inference_features();
     for (std::size_t pos = 0; pos < idx.size(); pos += bs) {
       const std::size_t end = std::min(pos + bs, idx.size());
-      std::vector<Matrix> feats;
+      std::vector<Matrix> owned;
       std::vector<const GraphTensors*> parts;
       std::vector<const Matrix*> fparts;
-      feats.reserve(end - pos);
+      if (pure) {
+        fparts.reserve(end - pos);
+      } else {
+        owned.reserve(end - pos);
+      }
       parts.reserve(end - pos);
       for (std::size_t i = pos; i < end; ++i) {
         const Sample& s = samples[static_cast<std::size_t>(idx[i])];
-        feats.push_back(inference_features(s));
+        if (pure) {
+          fparts.push_back(&FeatureCache::global().features(s, approach_));
+        } else {
+          owned.push_back(infused_features(s));
+        }
         parts.push_back(&s.tensors);
         truth.push_back(metric_of(s.truth, metric_));
       }
-      fparts.reserve(feats.size());
-      for (const Matrix& f : feats) fparts.push_back(&f);
       const GraphBatch batch = GraphBatch::build(parts);
-      const std::vector<float> encoded = regressor_->predict_batch(
-          batch.merged, GraphBatch::stack_features(fparts));
+      const Matrix stacked = pure ? GraphBatch::stack_features(fparts)
+                                  : GraphBatch::stack_features(owned);
+      const std::vector<float> encoded =
+          regressor_->predict_batch(batch.merged, stacked);
       for (float e : encoded) pred.push_back(decode_target(e, metric_));
     }
   }
@@ -328,29 +222,20 @@ double NodeTypePredictor::fit(const std::vector<Sample>& samples,
   classifier_ = std::make_unique<NodeClassifier>(
       model_cfg_, InputFeatureBuilder::feature_dim(Approach::kOffTheShelf),
       init_rng);
-  Adam opt(*classifier_, AdamConfig{.lr = train_cfg_.lr,
-                                    .weight_decay = train_cfg_.weight_decay,
-                                    .grad_clip = train_cfg_.grad_clip});
-  Rng order_rng(train_cfg_.seed * 31 + 7);
-  Rng dropout_rng(train_cfg_.seed * 17 + 3);
-  std::vector<int> order = split.train;
-  const ClassifierData data = build_classifier_data(samples, split.train);
+  BatchPlan plan = classifier_plan(samples, split.train, train_cfg_);
+  Trainer trainer(*classifier_, train_cfg_, classifier_hooks(*classifier_),
+                  train_cfg_.seed * 17 + 3);
 
   double best_val = 0.0;
   std::vector<Matrix> best_params;
-  for (int epoch = 0; epoch < train_cfg_.epochs; ++epoch) {
-    opt.set_lr(lr_at_epoch(train_cfg_.lr, epoch, train_cfg_.epochs));
-    order_rng.shuffle(order);
-    run_classifier_epoch(*classifier_, opt, samples, data, order, train_cfg_,
-                         dropout_rng);
-
+  trainer.fit(plan, [&](int /*epoch*/) {
     const NodeClassifierScores val = evaluate(samples, split.val);
     const double mean_acc = (val.dsp + val.lut + val.ff) / 3.0;
     if (mean_acc > best_val) {
       best_val = mean_acc;
       best_params = snapshot_parameters(*classifier_);
     }
-  }
+  });
   if (!best_params.empty()) restore_parameters(*classifier_, best_params);
   return best_val;
 }
@@ -361,10 +246,10 @@ NodeClassifierScores NodeTypePredictor::evaluate(
   std::array<std::vector<int>, 3> pred, truth;
   for (int i : idx) {
     const Sample& s = samples[static_cast<std::size_t>(i)];
-    const Matrix feats =
-        InputFeatureBuilder::build(s.graph(), Approach::kOffTheShelf);
+    const Matrix& feats =
+        FeatureCache::global().features(s, Approach::kOffTheShelf);
     const auto inferred = classifier_->infer_types(s.tensors, feats);
-    const Matrix labels = InputFeatureBuilder::node_type_labels(s.graph());
+    const Matrix& labels = FeatureCache::global().node_type_labels(s);
     for (int v = 0; v < s.graph().num_nodes(); ++v) {
       const auto& t = inferred[static_cast<std::size_t>(v)];
       pred[0].push_back(t.dsp > 0.5F);

@@ -12,9 +12,12 @@
 //                         bits — earliest-stage prediction, zero extra
 //                         inference inputs.
 //
-// fit() implements the paper's training recipe: Adam, fixed epoch budget,
-// minibatch gradient accumulation, best-validation-epoch parameter
-// selection.
+// The paper's training recipe (Adam, fixed epoch budget, minibatch
+// accumulation, best-validation-epoch parameter selection) lives in the
+// src/train/ subsystem: each fit here builds a BatchPlan over cached feature
+// tensors (FeatureCache) and delegates the epochs to the sharded Trainer;
+// this file keeps only model construction, validation-driven model
+// selection, and inference.
 #pragma once
 
 #include <memory>
@@ -24,33 +27,9 @@
 #include "core/metrics.h"
 #include "dataset/dataset.h"
 #include "gnn/models.h"
-#include "nn/adam.h"
+#include "train/trainer.h"
 
 namespace gnnhls {
-
-struct TrainConfig {
-  int epochs = 30;
-  float lr = 3e-3F;
-  float weight_decay = 1e-5F;
-  float grad_clip = 5.0F;
-  int batch_graphs = 8;  // gradient-accumulation window (batch_size==1 path)
-  /// Graphs per forward/backward pass. 1 keeps the legacy one-graph-per-tape
-  /// gradient-accumulation loop (bit-for-bit the pre-batching trajectory);
-  /// >1 disjoint-unions that many graphs into one GraphBatch per SGD step
-  /// (one tape, segment readout, one optimizer step per batch). Loss
-  /// semantics differ between the modes. Regressor: the legacy loop sums
-  /// batch_graphs per-graph MSEs per step while the batched loss is the
-  /// per-batch mean — a constant 1/batch_size scale Adam's update direction
-  /// is invariant to, so trajectories match closely (grad_clip and lr
-  /// sweeps are calibrated against the mean convention). Classifier: the
-  /// batched BCE averages over all *nodes* in the stacked batch (standard
-  /// node-level batching), so larger graphs carry proportionally more
-  /// gradient weight than in the per-graph loop, where each graph's mean
-  /// contributed equally — not a constant rescale on node-count-
-  /// heterogeneous corpora.
-  int batch_size = 1;
-  std::uint64_t seed = 1;
-};
 
 /// How the knowledge-infused approach obtains resource-type bits at
 /// inference time. kSelfInferred is the paper's deployment path; kOracle
@@ -74,16 +53,28 @@ class QorPredictor {
   double predict(const Sample& sample) const;
 
   /// MAPE over an index subset. With batch_size > 1 the regressor runs on
-  /// GraphBatch unions of that many samples per tape.
+  /// GraphBatch unions of that many samples per tape. Feature matrices come
+  /// from the process-wide FeatureCache, so per-epoch validation and bench
+  /// tables stop rebuilding identical tensors per call.
   double evaluate_mape(const std::vector<Sample>& samples,
                        const std::vector<int>& idx) const;
 
   Approach approach() const { return approach_; }
   Metric metric() const { return metric_; }
 
+  /// Trained regressor (valid after fit; determinism tests snapshot its
+  /// parameters).
+  const GraphRegressor& regressor() const { return *regressor_; }
+
  private:
-  Matrix training_features(const Sample& s) const;
-  Matrix inference_features(const Sample& s) const;
+  /// True when inference features are a pure function of the sample (cached
+  /// globally); false on the hierarchical self-inferred path, whose
+  /// features depend on the trained classifier.
+  bool pure_inference_features() const;
+
+  /// Hierarchical (-I self-inferred) inference features: classifier bits
+  /// replace the ground-truth type annotations.
+  Matrix infused_features(const Sample& s) const;
 
   void fit_classifier(const std::vector<Sample>& samples,
                       const std::vector<int>& train_idx);

@@ -1,12 +1,18 @@
 #include "dataset/dataset.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <numeric>
 
 #include "support/rng.h"
 
 namespace gnnhls {
+
+std::uint64_t next_sample_uid() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 std::string metric_name(Metric m) {
   switch (m) {

@@ -82,4 +82,19 @@ inline void parallel_for(int begin, int end, int min_chunk, Body&& body) {
                     std::function<void(int, int)>(std::forward<Body>(body)));
 }
 
+/// Runs body(shard) for every shard in [0, count) on the global pool, one
+/// index per invocation (coarse-grained data parallelism: each shard is a
+/// whole unit of work — e.g. one mini-batch tape — not a slice of an index
+/// range). Which thread runs which shard is unspecified; callers that need
+/// reproducible results must make each shard's computation independent and
+/// reduce shard outputs in a fixed order afterwards (see Adam::step_merged).
+/// With count <= 1 or a single-thread pool the shards run inline, serially,
+/// in index order.
+template <typename Body>
+inline void parallel_shards(int count, Body&& body) {
+  parallel_for(0, count, 1, [&body](int lo, int hi) {
+    for (int s = lo; s < hi; ++s) body(s);
+  });
+}
+
 }  // namespace gnnhls

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <unordered_map>
 
 namespace gnnhls {
 
@@ -19,7 +20,54 @@ bool any_requires_grad(const std::vector<Var>& parents) {
                      [](const Var& v) { return v.requires_grad(); });
 }
 
+/// Active per-thread gradient redirection (see LeafGradRedirect). One frame
+/// per thread, installed/removed by the RAII scope on that same thread.
+struct RedirectFrame {
+  std::unordered_map<const VarNode*, Matrix*> sinks;
+};
+thread_local RedirectFrame* tl_redirect = nullptr;
+
+/// Destination for gradient accumulation into `n` on this thread: the
+/// redirected sink if one is registered, otherwise the node's own grad.
+/// Backprop lambdas hoist this lookup out of their element loops.
+Matrix& sink(VarNode& n) {
+  if (tl_redirect != nullptr) {
+    const auto it = tl_redirect->sinks.find(&n);
+    if (it != tl_redirect->sinks.end()) return *it->second;
+  }
+  return n.grad;
+}
+
+Matrix& sink_of(const Var& v) { return sink(*v.node()); }
+
 }  // namespace
+
+LeafGradRedirect::LeafGradRedirect(const std::vector<Var>& leaves,
+                                   std::vector<Matrix>& sinks) {
+  GNNHLS_CHECK(tl_redirect == nullptr,
+               "LeafGradRedirect: scopes do not nest on a thread");
+  sinks.resize(leaves.size());
+  auto frame = std::make_unique<RedirectFrame>();
+  frame->sinks.reserve(leaves.size());
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    const Var& leaf = leaves[i];
+    GNNHLS_CHECK(leaf.valid(), "LeafGradRedirect: invalid leaf");
+    if (!leaf.requires_grad()) continue;
+    // Reuse the sink allocation across scopes when shapes already match.
+    if (sinks[i].same_shape(leaf.value())) {
+      sinks[i].fill(0.0F);
+    } else {
+      sinks[i] = Matrix::zeros(leaf.rows(), leaf.cols());
+    }
+    frame->sinks.emplace(leaf.node().get(), &sinks[i]);
+  }
+  tl_redirect = frame.release();
+}
+
+LeafGradRedirect::~LeafGradRedirect() {
+  delete tl_redirect;
+  tl_redirect = nullptr;
+}
 
 Var make_leaf(Matrix value, bool requires_grad) {
   auto node = std::make_shared<VarNode>();
@@ -78,10 +126,10 @@ Var Tape::matmul(const Var& a, const Var& b) {
   Matrix out = gnnhls::matmul(a.value(), b.value());
   return record(std::move(out), {a, b}, [a, b](VarNode& n) {
     if (a.requires_grad()) {
-      a.node()->grad.add_inplace(matmul_transpose_b(n.grad, b.value()));
+      sink_of(a).add_inplace(matmul_transpose_b(n.grad, b.value()));
     }
     if (b.requires_grad()) {
-      b.node()->grad.add_inplace(matmul_transpose_a(a.value(), n.grad));
+      sink_of(b).add_inplace(matmul_transpose_a(a.value(), n.grad));
     }
   });
 }
@@ -91,8 +139,8 @@ Var Tape::add(const Var& a, const Var& b) {
   Matrix out = a.value();
   out.add_inplace(b.value());
   return record(std::move(out), {a, b}, [a, b](VarNode& n) {
-    if (a.requires_grad()) a.node()->grad.add_inplace(n.grad);
-    if (b.requires_grad()) b.node()->grad.add_inplace(n.grad);
+    if (a.requires_grad()) sink_of(a).add_inplace(n.grad);
+    if (b.requires_grad()) sink_of(b).add_inplace(n.grad);
   });
 }
 
@@ -101,8 +149,8 @@ Var Tape::sub(const Var& a, const Var& b) {
   Matrix out = a.value();
   out.add_scaled_inplace(b.value(), -1.0F);
   return record(std::move(out), {a, b}, [a, b](VarNode& n) {
-    if (a.requires_grad()) a.node()->grad.add_inplace(n.grad);
-    if (b.requires_grad()) b.node()->grad.add_scaled_inplace(n.grad, -1.0F);
+    if (a.requires_grad()) sink_of(a).add_inplace(n.grad);
+    if (b.requires_grad()) sink_of(b).add_scaled_inplace(n.grad, -1.0F);
   });
 }
 
@@ -114,13 +162,15 @@ Var Tape::mul(const Var& a, const Var& b) {
   }
   return record(std::move(out), {a, b}, [a, b](VarNode& n) {
     if (a.requires_grad()) {
+      Matrix& ga = sink_of(a);
       for (std::size_t i = 0; i < n.grad.size(); ++i) {
-        a.node()->grad.data()[i] += n.grad.data()[i] * b.value().data()[i];
+        ga.data()[i] += n.grad.data()[i] * b.value().data()[i];
       }
     }
     if (b.requires_grad()) {
+      Matrix& gb = sink_of(b);
       for (std::size_t i = 0; i < n.grad.size(); ++i) {
-        b.node()->grad.data()[i] += n.grad.data()[i] * a.value().data()[i];
+        gb.data()[i] += n.grad.data()[i] * a.value().data()[i];
       }
     }
   });
@@ -137,20 +187,22 @@ Var Tape::mul_col_broadcast(const Var& a, const Var& b) {
   }
   return record(std::move(out), {a, b}, [a, b](VarNode& n) {
     if (a.requires_grad()) {
+      Matrix& gmat = sink_of(a);
       for (int i = 0; i < n.grad.rows(); ++i) {
         const float s = b.value()(i, 0);
         const float* g = n.grad.row_ptr(i);
-        float* ga = a.node()->grad.row_ptr(i);
+        float* ga = gmat.row_ptr(i);
         for (int j = 0; j < n.grad.cols(); ++j) ga[j] += g[j] * s;
       }
     }
     if (b.requires_grad()) {
+      Matrix& gb = sink_of(b);
       for (int i = 0; i < n.grad.rows(); ++i) {
         const float* g = n.grad.row_ptr(i);
         const float* av = a.value().row_ptr(i);
         float acc = 0.0F;
         for (int j = 0; j < n.grad.cols(); ++j) acc += g[j] * av[j];
-        b.node()->grad(i, 0) += acc;
+        gb(i, 0) += acc;
       }
     }
   });
@@ -166,9 +218,9 @@ Var Tape::add_row_bias(const Var& a, const Var& bias) {
     for (int j = 0; j < out.cols(); ++j) row[j] += b[j];
   }
   return record(std::move(out), {a, bias}, [a, bias](VarNode& n) {
-    if (a.requires_grad()) a.node()->grad.add_inplace(n.grad);
+    if (a.requires_grad()) sink_of(a).add_inplace(n.grad);
     if (bias.requires_grad()) {
-      float* gb = bias.node()->grad.row_ptr(0);
+      float* gb = sink_of(bias).row_ptr(0);
       for (int i = 0; i < n.grad.rows(); ++i) {
         const float* g = n.grad.row_ptr(i);
         for (int j = 0; j < n.grad.cols(); ++j) gb[j] += g[j];
@@ -183,7 +235,7 @@ Var Tape::affine(const Var& a, float alpha, float beta) {
     out.data()[i] = alpha * out.data()[i] + beta;
   }
   return record(std::move(out), {a}, [a, alpha](VarNode& n) {
-    if (a.requires_grad()) a.node()->grad.add_scaled_inplace(n.grad, alpha);
+    if (a.requires_grad()) sink_of(a).add_scaled_inplace(n.grad, alpha);
   });
 }
 
@@ -197,9 +249,10 @@ Var Tape::scale_rows(const Var& a, const std::vector<float>& coeff) {
   }
   return record(std::move(out), {a}, [a, coeff](VarNode& n) {
     if (!a.requires_grad()) return;
+    Matrix& gmat = sink_of(a);
     for (int i = 0; i < n.grad.rows(); ++i) {
       const float* g = n.grad.row_ptr(i);
-      float* ga = a.node()->grad.row_ptr(i);
+      float* ga = gmat.row_ptr(i);
       for (int j = 0; j < n.grad.cols(); ++j) ga[j] += g[j] * coeff[i];
     }
   });
@@ -218,9 +271,10 @@ Var Tape::leaky_relu(const Var& a, float slope) {
   }
   return record(std::move(out), {a}, [a, slope](VarNode& n) {
     if (!a.requires_grad()) return;
+    Matrix& ga = sink_of(a);
     for (std::size_t i = 0; i < n.grad.size(); ++i) {
       const float d = a.value().data()[i] > 0.0F ? 1.0F : slope;
-      a.node()->grad.data()[i] += n.grad.data()[i] * d;
+      ga.data()[i] += n.grad.data()[i] * d;
     }
   });
 }
@@ -232,9 +286,10 @@ Var Tape::sigmoid(const Var& a) {
   }
   return record(std::move(out), {a}, [a](VarNode& n) {
     if (!a.requires_grad()) return;
+    Matrix& ga = sink_of(a);
     for (std::size_t i = 0; i < n.grad.size(); ++i) {
       const float y = n.value.data()[i];
-      a.node()->grad.data()[i] += n.grad.data()[i] * y * (1.0F - y);
+      ga.data()[i] += n.grad.data()[i] * y * (1.0F - y);
     }
   });
 }
@@ -246,9 +301,10 @@ Var Tape::tanh_act(const Var& a) {
   }
   return record(std::move(out), {a}, [a](VarNode& n) {
     if (!a.requires_grad()) return;
+    Matrix& ga = sink_of(a);
     for (std::size_t i = 0; i < n.grad.size(); ++i) {
       const float y = n.value.data()[i];
-      a.node()->grad.data()[i] += n.grad.data()[i] * (1.0F - y * y);
+      ga.data()[i] += n.grad.data()[i] * (1.0F - y * y);
     }
   });
 }
@@ -261,11 +317,11 @@ Var Tape::sqrt_eps(const Var& a, float eps) {
   }
   return record(std::move(out), {a}, [a](VarNode& n) {
     if (!a.requires_grad()) return;
+    Matrix& ga = sink_of(a);
     for (std::size_t i = 0; i < n.grad.size(); ++i) {
       // d sqrt(max(x,0)+eps)/dx = 1/(2*out) for x>0, 0 for x<0.
       if (a.value().data()[i] <= 0.0F) continue;
-      a.node()->grad.data()[i] +=
-          n.grad.data()[i] * 0.5F / n.value.data()[i];
+      ga.data()[i] += n.grad.data()[i] * 0.5F / n.value.data()[i];
     }
   });
 }
@@ -283,9 +339,10 @@ Var Tape::gather_rows(const Var& a, const std::vector<int>& idx) {
   }
   return record(std::move(out), {a}, [a, idx](VarNode& n) {
     if (!a.requires_grad()) return;
+    Matrix& gmat = sink_of(a);
     for (std::size_t i = 0; i < idx.size(); ++i) {
       const float* g = n.grad.row_ptr(static_cast<int>(i));
-      float* ga = a.node()->grad.row_ptr(idx[i]);
+      float* ga = gmat.row_ptr(idx[i]);
       for (int j = 0; j < n.grad.cols(); ++j) ga[j] += g[j];
     }
   });
@@ -305,9 +362,10 @@ Var Tape::scatter_add_rows(const Var& a, const std::vector<int>& idx,
   }
   return record(std::move(out), {a}, [a, idx](VarNode& n) {
     if (!a.requires_grad()) return;
+    Matrix& gmat = sink_of(a);
     for (std::size_t i = 0; i < idx.size(); ++i) {
       const float* g = n.grad.row_ptr(idx[i]);
-      float* ga = a.node()->grad.row_ptr(static_cast<int>(i));
+      float* ga = gmat.row_ptr(static_cast<int>(i));
       for (int j = 0; j < n.grad.cols(); ++j) ga[j] += g[j];
     }
   });
@@ -359,10 +417,11 @@ Var Tape::segment_max(const Var& a, const std::vector<int>& idx,
   const int cols = a.cols();
   return record(std::move(out), {a}, [a, arg, cols](VarNode& n) {
     if (!a.requires_grad()) return;
+    Matrix& ga = sink_of(a);
     for (int s = 0; s < n.grad.rows(); ++s) {
       for (int j = 0; j < cols; ++j) {
         const int src = (*arg)[static_cast<std::size_t>(s) * cols + j];
-        if (src >= 0) a.node()->grad(src, j) += n.grad(s, j);
+        if (src >= 0) ga(src, j) += n.grad(s, j);
       }
     }
   });
@@ -377,10 +436,11 @@ Var Tape::segment_min(const Var& a, const std::vector<int>& idx,
   const int cols = a.cols();
   return record(std::move(out), {a}, [a, arg, cols](VarNode& n) {
     if (!a.requires_grad()) return;
+    Matrix& ga = sink_of(a);
     for (int s = 0; s < n.grad.rows(); ++s) {
       for (int j = 0; j < cols; ++j) {
         const int src = (*arg)[static_cast<std::size_t>(s) * cols + j];
-        if (src >= 0) a.node()->grad(src, j) += n.grad(s, j);
+        if (src >= 0) ga(src, j) += n.grad(s, j);
       }
     }
   });
@@ -437,9 +497,10 @@ Var Tape::segment_softmax(const Var& a, const std::vector<int>& idx,
       dot[idx[i]] +=
           n.grad(static_cast<int>(i), 0) * n.value(static_cast<int>(i), 0);
     }
+    Matrix& ga = sink_of(a);
     for (std::size_t i = 0; i < idx.size(); ++i) {
       const float y = n.value(static_cast<int>(i), 0);
-      a.node()->grad(static_cast<int>(i), 0) +=
+      ga(static_cast<int>(i), 0) +=
           y * (n.grad(static_cast<int>(i), 0) - dot[idx[i]]);
     }
   });
@@ -470,9 +531,10 @@ Var Tape::concat_cols(const std::vector<Var>& parts) {
     int off = 0;
     for (const auto& p : parts) {
       if (p.requires_grad()) {
+        Matrix& gmat = sink_of(p);
         for (int i = 0; i < n.grad.rows(); ++i) {
           const float* g = n.grad.row_ptr(i) + off;
-          float* gp = p.node()->grad.row_ptr(i);
+          float* gp = gmat.row_ptr(i);
           for (int j = 0; j < p.cols(); ++j) gp[j] += g[j];
         }
       }
@@ -491,9 +553,10 @@ Var Tape::slice_cols(const Var& a, int begin, int end) {
   }
   return record(std::move(out), {a}, [a, begin](VarNode& n) {
     if (!a.requires_grad()) return;
+    Matrix& gmat = sink_of(a);
     for (int i = 0; i < n.grad.rows(); ++i) {
       const float* g = n.grad.row_ptr(i);
-      float* ga = a.node()->grad.row_ptr(i) + begin;
+      float* ga = gmat.row_ptr(i) + begin;
       for (int j = 0; j < n.grad.cols(); ++j) ga[j] += g[j];
     }
   });
@@ -507,8 +570,9 @@ Var Tape::sum_rows(const Var& a) {
   }
   return record(std::move(out), {a}, [a](VarNode& n) {
     if (!a.requires_grad()) return;
+    Matrix& gmat = sink_of(a);
     for (int i = 0; i < a.rows(); ++i) {
-      float* ga = a.node()->grad.row_ptr(i);
+      float* ga = gmat.row_ptr(i);
       const float* g = n.grad.row_ptr(0);
       for (int j = 0; j < n.grad.cols(); ++j) ga[j] += g[j];
     }
@@ -528,8 +592,9 @@ Var Tape::sum_all(const Var& a) {
   return record(std::move(out), {a}, [a](VarNode& n) {
     if (!a.requires_grad()) return;
     const float g = n.grad(0, 0);
+    Matrix& ga = sink_of(a);
     for (std::size_t i = 0; i < a.value().size(); ++i) {
-      a.node()->grad.data()[i] += g;
+      ga.data()[i] += g;
     }
   });
 }
@@ -543,7 +608,7 @@ Var Tape::repeat_row(const Var& a, int n_rows) {
   }
   return record(std::move(out), {a}, [a](VarNode& n) {
     if (!a.requires_grad()) return;
-    float* ga = a.node()->grad.row_ptr(0);
+    float* ga = sink_of(a).row_ptr(0);
     for (int i = 0; i < n.grad.rows(); ++i) {
       const float* g = n.grad.row_ptr(i);
       for (int j = 0; j < n.grad.cols(); ++j) ga[j] += g[j];
@@ -565,8 +630,9 @@ Var Tape::dropout(const Var& a, float p, Rng& rng, bool training) {
   for (std::size_t i = 0; i < out.size(); ++i) out.data()[i] *= mask[i];
   return record(std::move(out), {a}, [a, mask](VarNode& n) {
     if (!a.requires_grad()) return;
+    Matrix& ga = sink_of(a);
     for (std::size_t i = 0; i < n.grad.size(); ++i) {
-      a.node()->grad.data()[i] += n.grad.data()[i] * mask[i];
+      ga.data()[i] += n.grad.data()[i] * mask[i];
     }
   });
 }
@@ -582,9 +648,10 @@ Var Tape::mse_loss(const Var& pred, const Matrix& target) {
   return record(std::move(out), {pred}, [pred, target, inv](VarNode& n) {
     if (!pred.requires_grad()) return;
     const float g = n.grad(0, 0);
+    Matrix& gp = sink_of(pred);
     for (std::size_t i = 0; i < pred.value().size(); ++i) {
       const float d = pred.value().data()[i] - target.data()[i];
-      pred.node()->grad.data()[i] += 2.0F * d * inv * g;
+      gp.data()[i] += 2.0F * d * inv * g;
     }
   });
 }
@@ -605,11 +672,12 @@ Var Tape::bce_with_logits_loss(const Var& logits, const Matrix& targets) {
   return record(std::move(out), {logits}, [logits, targets, inv](VarNode& n) {
     if (!logits.requires_grad()) return;
     const float g = n.grad(0, 0);
+    Matrix& gl = sink_of(logits);
     for (std::size_t i = 0; i < logits.value().size(); ++i) {
       const float x = logits.value().data()[i];
       const float z = targets.data()[i];
       const float sig = 1.0F / (1.0F + std::exp(-x));
-      logits.node()->grad.data()[i] += (sig - z) * inv * g;
+      gl.data()[i] += (sig - z) * inv * g;
     }
   });
 }

@@ -52,6 +52,25 @@ class Var {
 /// Creates a persistent leaf (used by nn::Parameter). Not tied to any tape.
 Var make_leaf(Matrix value, bool requires_grad);
 
+/// RAII scope that redirects gradient accumulation for the given persistent
+/// leaves (parameters) into caller-owned buffers on the *current thread*.
+/// While active, any backward() run on this thread adds the listed leaves'
+/// gradients into sinks[i] instead of leaves[i].grad; other threads are
+/// untouched, so concurrent per-shard tapes over shared parameters never
+/// race on the shared grad matrices. The constructor shapes and zeroes the
+/// sinks, making each scope an independent accumulator that the trainer
+/// merges in a deterministic order (see Adam::step_merged). Scopes do not
+/// nest on a thread; sinks must outlive the scope.
+class LeafGradRedirect {
+ public:
+  LeafGradRedirect(const std::vector<Var>& leaves,
+                   std::vector<Matrix>& sinks);
+  ~LeafGradRedirect();
+
+  LeafGradRedirect(const LeafGradRedirect&) = delete;
+  LeafGradRedirect& operator=(const LeafGradRedirect&) = delete;
+};
+
 class Tape {
  public:
   /// Tape-scoped constant/input leaf.

@@ -1,9 +1,8 @@
 #include "tensor/matrix.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
-
-#include <mutex>
 
 #if defined(__GLIBC__)
 #include <malloc.h>
@@ -14,6 +13,11 @@
 namespace gnnhls {
 
 void tune_malloc_for_tensor_workloads() {
+  // Once-flag: every fit entry point, the bench harness, and the train/
+  // subsystem call this eagerly, so repeated invocations must be a cheap
+  // no-op; only the first caller (process-wide, any thread) does work.
+  static std::atomic<bool> tuned{false};
+  if (tuned.exchange(true, std::memory_order_relaxed)) return;
 #if defined(__GLIBC__)
   // Batched training churns multi-hundred-KB activation and gradient
   // buffers on every tape. Above glibc's default 128KB threshold malloc
@@ -23,11 +27,8 @@ void tune_malloc_for_tensor_workloads() {
   // free lists. Process-wide and deliberately opt-in (called from training
   // entry points, not a static initializer): it trades RSS retention for
   // step latency, which only training-shaped workloads want.
-  static std::once_flag once;
-  std::call_once(once, [] {
-    mallopt(M_MMAP_THRESHOLD, 64 << 20);
-    mallopt(M_TRIM_THRESHOLD, 64 << 20);
-  });
+  mallopt(M_MMAP_THRESHOLD, 64 << 20);
+  mallopt(M_TRIM_THRESHOLD, 64 << 20);
 #endif
 }
 

@@ -1,0 +1,114 @@
+#include "train/batch_plan.h"
+
+#include <numeric>
+#include <utility>
+
+#include "support/parallel.h"
+
+namespace gnnhls {
+
+BatchPlan BatchPlan::build(const std::vector<Sample>& samples,
+                           const std::vector<int>& train_idx, int batch_size,
+                           const FeatureFn& feature_of, const LabelFn& label_of,
+                           Rng order_rng) {
+  GNNHLS_CHECK(!train_idx.empty(), "BatchPlan: empty training set");
+  BatchPlan plan(order_rng);
+  plan.samples_ = &samples;
+  plan.batch_size_ = batch_size;
+
+  // Prefetch features serially: feature_of typically fills the shared
+  // FeatureCache, and a deterministic fill order keeps hit/miss accounting
+  // reproducible for tests regardless of pool width.
+  std::vector<const Matrix*> feats(samples.size(), nullptr);
+  for (int i : train_idx) {
+    feats[static_cast<std::size_t>(i)] =
+        &feature_of(samples[static_cast<std::size_t>(i)]);
+  }
+
+  if (batch_size <= 1) {
+    // Legacy per-sample view; the epoch loop shuffles sample_order_ with
+    // exactly the draws the old fit loop made.
+    plan.sample_order_ = train_idx;
+    plan.sample_features_ = std::move(feats);
+    plan.sample_labels_.resize(samples.size());
+    for (int i : train_idx) {
+      plan.sample_labels_[static_cast<std::size_t>(i)] =
+          label_of(samples[static_cast<std::size_t>(i)]);
+    }
+    return plan;
+  }
+
+  // Fix membership from one shuffle — the chunks the old loop's first epoch
+  // would have produced — then assemble every union once.
+  std::vector<int> order = train_idx;
+  plan.order_rng_.shuffle(order);
+  const std::size_t bs = static_cast<std::size_t>(batch_size);
+  plan.items_.resize((order.size() + bs - 1) / bs);
+  for (std::size_t pos = 0, b = 0; pos < order.size(); pos += bs, ++b) {
+    const std::size_t end = std::min(pos + bs, order.size());
+    plan.items_[b].members.assign(order.begin() + static_cast<long>(pos),
+                                  order.begin() + static_cast<long>(end));
+  }
+
+  // Per-sample labels are built serially (label_of may hit shared caches);
+  // the pure union/stack assembly fans out across batches.
+  std::vector<Matrix> labels(samples.size());
+  for (int i : train_idx) {
+    labels[static_cast<std::size_t>(i)] =
+        label_of(samples[static_cast<std::size_t>(i)]);
+  }
+  parallel_shards(static_cast<int>(plan.items_.size()), [&](int b) {
+    Item& item = plan.items_[static_cast<std::size_t>(b)];
+    std::vector<const GraphTensors*> parts;
+    std::vector<const Matrix*> fparts, lparts;
+    parts.reserve(item.members.size());
+    fparts.reserve(item.members.size());
+    lparts.reserve(item.members.size());
+    for (int i : item.members) {
+      parts.push_back(&samples[static_cast<std::size_t>(i)].tensors);
+      fparts.push_back(feats[static_cast<std::size_t>(i)]);
+      lparts.push_back(&labels[static_cast<std::size_t>(i)]);
+    }
+    item.batch = GraphBatch::build(parts);
+    item.features = GraphBatch::stack_features(fparts);
+    item.labels = GraphBatch::stack_features(lparts);
+  });
+
+  plan.batch_order_.resize(plan.items_.size());
+  std::iota(plan.batch_order_.begin(), plan.batch_order_.end(), 0);
+  return plan;
+}
+
+const std::vector<int>& BatchPlan::next_epoch_batch_order() {
+  GNNHLS_CHECK(batched(), "next_epoch_batch_order: legacy-mode plan");
+  if (!first_epoch_served_) {
+    // Epoch 0 visits the build order — together with membership fixing this
+    // reproduces the old loop's first epoch exactly.
+    first_epoch_served_ = true;
+    return batch_order_;
+  }
+  order_rng_.shuffle(batch_order_);
+  return batch_order_;
+}
+
+const std::vector<int>& BatchPlan::next_epoch_sample_order() {
+  GNNHLS_CHECK(!batched(), "next_epoch_sample_order: batched-mode plan");
+  order_rng_.shuffle(sample_order_);
+  return sample_order_;
+}
+
+const GraphTensors& BatchPlan::sample_tensors(int sample_idx) const {
+  return (*samples_)[static_cast<std::size_t>(sample_idx)].tensors;
+}
+
+const Matrix& BatchPlan::sample_features(int sample_idx) const {
+  const Matrix* f = sample_features_[static_cast<std::size_t>(sample_idx)];
+  GNNHLS_CHECK(f != nullptr, "sample_features: index not in training set");
+  return *f;
+}
+
+const Matrix& BatchPlan::sample_labels(int sample_idx) const {
+  return sample_labels_[static_cast<std::size_t>(sample_idx)];
+}
+
+}  // namespace gnnhls

@@ -1,0 +1,95 @@
+// Per-fit training data loader: a rotation of fixed mini-batches.
+//
+// The pre-refactor fit loops reshuffled the sample order every epoch and
+// re-chunked it into GraphBatch unions, so union assembly and feature
+// stacking were paid O(epochs) times. A BatchPlan fixes batch *membership*
+// once per fit (from the first shuffle — exactly the chunks the first epoch
+// would have seen) and pre-builds every union with its stacked feature and
+// label matrices; epochs then reshuffle only the *order* in which the fixed
+// batches are visited. Randomized visit order preserves SGD's decorrelation
+// benefit while amortizing assembly entirely — the multi-epoch batch reuse
+// the ROADMAP calls out.
+//
+// In legacy mode (batch_size <= 1) the plan degrades to a per-sample view
+// with the persistent order vector the old loop used, reshuffled with the
+// same Rng draws, so single-graph gradient-accumulation training stays
+// bit-for-bit on the pre-batching trajectory.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "dataset/dataset.h"
+#include "gnn/graph_batch.h"
+#include "support/rng.h"
+#include "tensor/matrix.h"
+
+namespace gnnhls {
+
+class BatchPlan {
+ public:
+  /// One prebuilt mini-batch of the rotation (batched mode).
+  struct Item {
+    std::vector<int> members;  // sample indices, fixed for the fit
+    GraphBatch batch;          // disjoint union of the members
+    Matrix features;           // stacked per-node input features
+    Matrix labels;             // stacked labels ([k,1] targets / [n,3] bits)
+  };
+
+  /// Returns a stable reference to sample s's input features (the
+  /// FeatureCache hands these out; the plan never copies them per epoch).
+  using FeatureFn = std::function<const Matrix&(const Sample&)>;
+  /// Returns sample s's label rows: a [1,1] encoded regression target or a
+  /// [num_nodes, k] node-label matrix.
+  using LabelFn = std::function<Matrix(const Sample&)>;
+
+  /// Builds the rotation over samples[train_idx]. order_rng drives both the
+  /// membership-fixing shuffle (batched mode) and the per-epoch reshuffles;
+  /// pass the same seed the old fit loop used and epoch 0 reproduces its
+  /// first epoch exactly. Union assembly fans out on the global thread pool.
+  static BatchPlan build(const std::vector<Sample>& samples,
+                         const std::vector<int>& train_idx, int batch_size,
+                         const FeatureFn& feature_of, const LabelFn& label_of,
+                         Rng order_rng);
+
+  bool batched() const { return batch_size_ > 1; }
+  int batch_size() const { return batch_size_; }
+  int num_batches() const { return static_cast<int>(items_.size()); }
+  const Item& item(int b) const {
+    return items_[static_cast<std::size_t>(b)];
+  }
+
+  /// Batched mode: advances to the next epoch and returns its batch visit
+  /// order (a permutation of [0, num_batches)). The first call returns the
+  /// build order; later calls reshuffle order only — membership never
+  /// changes.
+  const std::vector<int>& next_epoch_batch_order();
+
+  /// Legacy mode: reshuffles and returns the persistent sample order, one
+  /// call per epoch (bit-for-bit the old loop's Rng draws).
+  const std::vector<int>& next_epoch_sample_order();
+
+  // --- legacy-mode per-sample views (valid for train_idx members only) ---
+  const GraphTensors& sample_tensors(int sample_idx) const;
+  const Matrix& sample_features(int sample_idx) const;
+  const Matrix& sample_labels(int sample_idx) const;
+
+ private:
+  BatchPlan(Rng order_rng) : order_rng_(order_rng) {}
+
+  const std::vector<Sample>* samples_ = nullptr;
+  int batch_size_ = 1;
+  Rng order_rng_;
+
+  // batched mode
+  std::vector<Item> items_;
+  std::vector<int> batch_order_;
+  bool first_epoch_served_ = false;
+
+  // legacy mode
+  std::vector<int> sample_order_;
+  std::vector<const Matrix*> sample_features_;  // indexed by sample position
+  std::vector<Matrix> sample_labels_;           // indexed by sample position
+};
+
+}  // namespace gnnhls

@@ -1,0 +1,52 @@
+#include "train/feature_cache.h"
+
+namespace gnnhls {
+
+FeatureCache& FeatureCache::global() {
+  static FeatureCache* cache = new FeatureCache();  // never destroyed
+  return *cache;
+}
+
+template <typename BuildFn>
+const Matrix& FeatureCache::lookup(const Key& key, BuildFn&& build) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return *it->second;
+    }
+  }
+  // Build outside the lock so concurrent misses on *different* samples never
+  // serialize on feature construction. Two threads missing the same key both
+  // build the (identical, deterministic) tensor and the first insert wins.
+  auto built = std::make_unique<const Matrix>(build());
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = entries_.emplace(key, std::move(built));
+  if (inserted) misses_.fetch_add(1, std::memory_order_relaxed);
+  return *it->second;
+}
+
+const Matrix& FeatureCache::features(const Sample& s, Approach a) {
+  return lookup(Key{s.uid, static_cast<int>(a)}, [&] {
+    return InputFeatureBuilder::build(s.graph(), a);
+  });
+}
+
+const Matrix& FeatureCache::node_type_labels(const Sample& s) {
+  return lookup(Key{s.uid, -1}, [&] {
+    return InputFeatureBuilder::node_type_labels(s.graph());
+  });
+}
+
+void FeatureCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+std::size_t FeatureCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace gnnhls
