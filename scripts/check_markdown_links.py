@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the CI docs job (no network, no deps).
+
+Checks every inline link/image ``[text](target)`` and reference definition
+``[label]: target`` in the given markdown files:
+
+* relative targets must exist on disk (resolved against the file's
+  directory; a ``#fragment`` on a .md target must match a heading anchor in
+  that file);
+* intra-document fragments (``#section``) must match a heading anchor of
+  the containing file;
+* ``http(s)``/``mailto`` targets are recorded but not fetched (CI runs
+  offline) — pass --list-external to print them.
+
+Exit code 1 if any link is broken, with one diagnostic line per failure.
+
+Usage: scripts/check_markdown_links.py README.md ARCHITECTURE.md ...
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# Inline [text](target) — target ends at the first unescaped ')'; tolerate
+# one level of nested parens (e.g. wiki-style URLs).
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)<>\s]+(?:\([^)]*\))?)>?\s*(?:\"[^\"]*\")?\)")
+REF_DEF = re.compile(r"^\s{0,3}\[[^\]]+\]:\s+<?(\S+?)>?\s*(?:\"[^\"]*\")?$")
+FENCE = re.compile(r"^\s*(```|~~~)")
+HEADING = re.compile(r"^\s{0,3}#{1,6}\s+(.*?)\s*#*\s*$")
+EXTERNAL = re.compile(r"^(https?:|mailto:|ftp:)", re.IGNORECASE)
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces->dashes."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # unwrap inline code
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # unwrap links
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def parse_file(path: Path):
+    """Returns (links, anchors): link targets with line numbers, heading
+    anchors. Fenced code blocks are skipped (flag examples aren't links)."""
+    links, anchors = [], set()
+    in_fence = False
+    for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        if FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING.match(line)
+        if m:
+            anchors.add(github_anchor(m.group(1)))
+        m = REF_DEF.match(line)
+        if m:
+            links.append((lineno, m.group(1)))
+            continue
+        for m in INLINE_LINK.finditer(line):
+            links.append((lineno, m.group(1)))
+    return links, anchors
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("files", nargs="+", type=Path)
+    ap.add_argument("--list-external", action="store_true",
+                    help="print external URLs (not fetched)")
+    args = ap.parse_args()
+
+    anchors_cache = {}
+
+    def anchors_of(path: Path):
+        if path not in anchors_cache:
+            anchors_cache[path] = parse_file(path)[1]
+        return anchors_cache[path]
+
+    failures = 0
+    externals = []
+    checked = 0
+    for md in args.files:
+        if not md.is_file():
+            print(f"{md}: file not found", file=sys.stderr)
+            failures += 1
+            continue
+        links, anchors = parse_file(md)
+        anchors_cache[md] = anchors
+        for lineno, target in links:
+            checked += 1
+            if EXTERNAL.match(target):
+                externals.append(target)
+                continue
+            target, _, fragment = target.partition("#")
+            if not target:  # intra-document #fragment
+                if fragment and github_anchor(fragment) not in anchors:
+                    print(f"{md}:{lineno}: broken anchor #{fragment}",
+                          file=sys.stderr)
+                    failures += 1
+                continue
+            dest = (md.parent / target).resolve()
+            if not dest.exists():
+                print(f"{md}:{lineno}: broken link {target}", file=sys.stderr)
+                failures += 1
+            elif fragment and dest.suffix == ".md" and \
+                    github_anchor(fragment) not in anchors_of(dest):
+                print(f"{md}:{lineno}: broken anchor {target}#{fragment}",
+                      file=sys.stderr)
+                failures += 1
+
+    if args.list_external:
+        for url in sorted(set(externals)):
+            print(f"external (not fetched): {url}")
+    print(f"checked {checked} links in {len(args.files)} files: "
+          f"{failures} broken, {len(externals)} external (skipped)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

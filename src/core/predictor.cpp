@@ -157,6 +157,44 @@ double QorPredictor::predict(const Sample& sample) const {
   return decode_target(encoded, metric_);
 }
 
+std::vector<double> QorPredictor::predict_many(
+    const std::vector<const Sample*>& samples) const {
+  GNNHLS_CHECK(regressor_ != nullptr, "predict before fit");
+  if (samples.empty()) return {};
+  // On the pure path the stacked features point straight into the
+  // FeatureCache (zero rebuild, zero copy); the hierarchical -I path runs
+  // the classifier per sample and owns its feature matrices for the
+  // duration of the batch.
+  const bool pure = pure_inference_features();
+  std::vector<Matrix> owned;
+  std::vector<const GraphTensors*> parts;
+  std::vector<const Matrix*> fparts;
+  if (pure) {
+    fparts.reserve(samples.size());
+  } else {
+    owned.reserve(samples.size());
+  }
+  parts.reserve(samples.size());
+  for (const Sample* s : samples) {
+    GNNHLS_CHECK(s != nullptr, "predict_many: null sample");
+    if (pure) {
+      fparts.push_back(&FeatureCache::global().features(*s, approach_));
+    } else {
+      owned.push_back(infused_features(*s));
+    }
+    parts.push_back(&s->tensors);
+  }
+  const GraphBatch batch = GraphBatch::build(parts);
+  const Matrix stacked = pure ? GraphBatch::stack_features(fparts)
+                              : GraphBatch::stack_features(owned);
+  const std::vector<float> encoded =
+      regressor_->predict_batch(batch.merged, stacked);
+  std::vector<double> pred;
+  pred.reserve(encoded.size());
+  for (float e : encoded) pred.push_back(decode_target(e, metric_));
+  return pred;
+}
+
 double QorPredictor::evaluate_mape(const std::vector<Sample>& samples,
                                    const std::vector<int>& idx) const {
   GNNHLS_CHECK(regressor_ != nullptr, "evaluate before fit");
@@ -172,38 +210,17 @@ double QorPredictor::evaluate_mape(const std::vector<Sample>& samples,
       truth.push_back(metric_of(s.truth, metric_));
     }
   } else {
-    // Batched inference. On the pure path the stacked features point
-    // straight into the FeatureCache (zero rebuild, zero copy); the
-    // hierarchical -I path runs the classifier per sample and owns its
-    // feature matrices for the duration of the batch.
-    const bool pure = pure_inference_features();
+    std::vector<const Sample*> chunk;
+    chunk.reserve(bs);
     for (std::size_t pos = 0; pos < idx.size(); pos += bs) {
       const std::size_t end = std::min(pos + bs, idx.size());
-      std::vector<Matrix> owned;
-      std::vector<const GraphTensors*> parts;
-      std::vector<const Matrix*> fparts;
-      if (pure) {
-        fparts.reserve(end - pos);
-      } else {
-        owned.reserve(end - pos);
-      }
-      parts.reserve(end - pos);
+      chunk.clear();
       for (std::size_t i = pos; i < end; ++i) {
         const Sample& s = samples[static_cast<std::size_t>(idx[i])];
-        if (pure) {
-          fparts.push_back(&FeatureCache::global().features(s, approach_));
-        } else {
-          owned.push_back(infused_features(s));
-        }
-        parts.push_back(&s.tensors);
+        chunk.push_back(&s);
         truth.push_back(metric_of(s.truth, metric_));
       }
-      const GraphBatch batch = GraphBatch::build(parts);
-      const Matrix stacked = pure ? GraphBatch::stack_features(fparts)
-                                  : GraphBatch::stack_features(owned);
-      const std::vector<float> encoded =
-          regressor_->predict_batch(batch.merged, stacked);
-      for (float e : encoded) pred.push_back(decode_target(e, metric_));
+      for (double p : predict_many(chunk)) pred.push_back(p);
     }
   }
   return mape(pred, truth);

@@ -52,6 +52,22 @@ class QorPredictor {
   /// inference: classifier -> annotated features -> regressor).
   double predict(const Sample& sample) const;
 
+  /// Batched inference: one GraphBatch disjoint union over all of `samples`,
+  /// one regressor forward, decoded predictions returned in input order.
+  /// Bit-identical to calling predict() per sample — the union introduces no
+  /// cross-graph edges and the segment readout pools each member's rows in
+  /// the same order as the single-graph path, so per-member float
+  /// trajectories are exactly those of the solo forward (asserted across all
+  /// 14 encoder kinds in serve_test/batch_test).
+  ///
+  /// Thread safety: const and safe to call concurrently from many threads
+  /// after fit() returns (forward builds a private tape; feature matrices
+  /// come from the internally synchronized FeatureCache). This is the
+  /// serving batcher's one entry point into the model. Callers control the
+  /// batch size by slicing: each call is a single forward pass.
+  std::vector<double> predict_many(
+      const std::vector<const Sample*>& samples) const;
+
   /// MAPE over an index subset. With batch_size > 1 the regressor runs on
   /// GraphBatch unions of that many samples per tape. Feature matrices come
   /// from the process-wide FeatureCache, so per-epoch validation and bench

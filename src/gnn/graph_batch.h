@@ -12,6 +12,20 @@
 // This is the same trick PyTorch Geometric's Batch/DataLoader uses, and is
 // what lets one SGD step amortize tape construction and matmul launches
 // over `batch_size` graphs.
+//
+// Determinism contract: the union is a pure function of the member list —
+// member order in `parts` IS row/segment order in the merged view, and the
+// segment ops reduce each member's contiguous rows in the same order as the
+// solo forward, so per-member results of a batched forward are bit-identical
+// to running that member alone (asserted for all 14 encoder kinds in
+// batch_test and serve_test). Readout row g always belongs to parts[g] —
+// the serving batcher relies on this to scatter predictions back to the
+// right caller.
+//
+// Threading: build()/stack_features() are safe to call concurrently from
+// any number of threads (they only read their inputs; stack_features may
+// fan copies out over the global ThreadPool, which is itself
+// deterministic). A built GraphBatch is immutable-after-build shared data.
 #pragma once
 
 #include <vector>

@@ -1,0 +1,44 @@
+// Counters published by the ServingBatcher (see serve/serving_batcher.h).
+//
+// A ServeStats value is a consistent snapshot: every field was read under
+// the batcher's queue lock in one critical section, so invariants like
+// `completed <= submitted` and `flush_full + flush_timeout + flush_drain ==
+// batches` hold within a single snapshot. Snapshots are plain values —
+// copy, diff and print them freely (bench_serving diffs two snapshots to
+// report per-phase batch-size distributions).
+#pragma once
+
+#include <cstdint>
+
+namespace gnnhls {
+
+struct ServeStats {
+  /// Requests accepted by submit() (excludes submissions rejected because
+  /// the batcher was already shut down — those fail their future instead).
+  std::uint64_t submitted = 0;
+  /// Requests whose micro-batch forward has run. Counted just before the
+  /// promises are fulfilled, so a caller whose future.get() has returned
+  /// always observes its own request here.
+  std::uint64_t completed = 0;
+  /// Forward passes run (each serves one micro-batch of 1..max_batch).
+  std::uint64_t batches = 0;
+  /// Window-close reasons, one increment per batch:
+  /// the queue reached max_batch before the window timer expired, ...
+  std::uint64_t flush_full = 0;
+  /// ... the batch window elapsed with 1..max_batch-1 requests waiting, ...
+  std::uint64_t flush_timeout = 0;
+  /// ... or shutdown() drained the remaining queue.
+  std::uint64_t flush_drain = 0;
+  /// Largest micro-batch served so far (<= configured max_batch).
+  int max_batch_seen = 0;
+
+  /// Mean graphs per forward pass — the amortization the batcher exists to
+  /// create (1.0 means every request paid a full forward on its own).
+  double avg_batch() const {
+    return batches == 0
+               ? 0.0
+               : static_cast<double>(completed) / static_cast<double>(batches);
+  }
+};
+
+}  // namespace gnnhls

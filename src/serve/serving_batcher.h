@@ -1,0 +1,121 @@
+// Asynchronous micro-batching inference front-end (the ROADMAP's "serving
+// batcher").
+//
+// DSE loops score thousands of candidate designs per search step, usually
+// from several concurrent searcher threads, each holding one graph at a
+// time. Running a full forward per graph wastes the batched engine: the
+// GraphBatch segment readout already produces [N_graphs, 1] predictions in
+// member order for the cost of roughly one tape. The ServingBatcher turns
+// that into a serving primitive: callers submit single samples and get a
+// future; a worker thread collects requests for a bounded window (max_batch
+// requests or batch_window_us microseconds, whichever closes first), runs
+// ONE QorPredictor::predict_many forward over the disjoint union, and
+// scatters the per-member predictions back to each caller's promise.
+//
+// Determinism contract: a served prediction is bit-identical to
+// QorPredictor::predict on the same sample and trained model, regardless of
+// which requests happened to share its micro-batch (the union adds no
+// cross-graph edges and segment ops reduce each member's rows in solo
+// order). Batching changes latency, never values — asserted by
+// tests/serve_test.cpp.
+//
+// Threading: submit()/predict_many()/stats()/shutdown() are safe from any
+// number of threads. The model is shared read-only — the batcher takes the
+// predictor by const reference and requires that nobody re-fits it while
+// serving. Destruction (or shutdown()) drains: every accepted request is
+// answered before the worker exits.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/predictor.h"
+#include "serve/serve_stats.h"
+
+namespace gnnhls {
+
+/// The latency-vs-throughput knobs. Both bound every micro-batch: a window
+/// closes as soon as max_batch requests are queued, and no later than
+/// batch_window_us microseconds after its oldest request arrived.
+struct ServeConfig {
+  /// Graphs per forward pass (>= 1). 1 disables batching: every request
+  /// pays its own forward (the baseline bench_serving compares against).
+  int max_batch = 8;
+  /// Longest time a queued request may wait for co-batchable traffic, in
+  /// microseconds (>= 0). 0 means "never wait": the worker serves whatever
+  /// is queued the moment it looks — lowest latency, batches form only when
+  /// requests arrive faster than forwards complete.
+  std::int64_t batch_window_us = 200;
+};
+
+class ServingBatcher {
+ public:
+  /// Spawns the worker thread. `predictor` must be fitted already, must
+  /// outlive the batcher, and must not be re-fit while serving (the worker
+  /// reads it concurrently with callers).
+  explicit ServingBatcher(const QorPredictor& predictor, ServeConfig cfg = {});
+
+  /// Drains and joins (equivalent to shutdown()).
+  ~ServingBatcher();
+
+  ServingBatcher(const ServingBatcher&) = delete;
+  ServingBatcher& operator=(const ServingBatcher&) = delete;
+
+  /// Enqueues one sample and returns the future for its decoded QoR
+  /// prediction. `sample` is borrowed: it must stay alive until the future
+  /// is ready. After shutdown() the returned future holds a
+  /// std::runtime_error instead of blocking forever.
+  std::future<double> submit(const Sample& sample);
+
+  /// Blocking convenience: submits every sample, waits for all futures and
+  /// returns the predictions in input order. Safe from many threads at
+  /// once; the requests micro-batch with any other concurrent traffic.
+  std::vector<double> predict_many(const std::vector<const Sample*>& samples);
+
+  /// Stops accepting new requests, serves everything already queued, then
+  /// joins the worker. Idempotent and safe to call concurrently with
+  /// submitters (they observe either acceptance or the shutdown error).
+  void shutdown();
+
+  /// Consistent snapshot of the serving counters (see serve_stats.h).
+  ServeStats stats() const;
+
+  const ServeConfig& config() const { return cfg_; }
+
+ private:
+  struct Request {
+    const Sample* sample;
+    std::promise<double> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  /// Why the worker closed a micro-batch window (maps onto the flush_*
+  /// counters in ServeStats).
+  enum class FlushReason { kFull, kTimeout, kDrain };
+
+  void worker_loop();
+  /// Runs one micro-batch outside the lock, records it in stats_ (one
+  /// locked update, preserving the snapshot invariants documented in
+  /// serve_stats.h) and fulfills its promises.
+  void run_batch(std::vector<Request>& batch, FlushReason reason);
+
+  const QorPredictor& predictor_;
+  const ServeConfig cfg_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;  // worker wakeup: new request / shutdown
+  std::deque<Request> queue_;
+  ServeStats stats_;
+  bool stop_ = false;
+
+  std::mutex join_mu_;  // serializes concurrent shutdown() calls
+  std::thread worker_;
+};
+
+}  // namespace gnnhls

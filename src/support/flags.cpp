@@ -59,6 +59,17 @@ bool Flags::has(const std::string& name) const {
   return it != values_.end();
 }
 
+int Flags::warn_unconsumed(std::ostream& os) const {
+  int unconsumed = 0;
+  for (const auto& [name, used] : consumed_) {
+    if (used) continue;
+    os << "warning: unknown flag --" << name
+       << " (ignored; --help lists the supported flags)\n";
+    ++unconsumed;
+  }
+  return unconsumed;
+}
+
 void Flags::check_all_consumed() const {
   std::ostringstream unknown;
   for (const auto& [name, used] : consumed_) {

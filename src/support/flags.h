@@ -1,9 +1,14 @@
 // Minimal command-line flag parsing for bench/example binaries.
 //
-// Supports "--name=value" and "--name value". Unknown flags raise, so typos
-// in experiment sweeps fail loudly instead of silently running defaults.
+// Supports "--name=value" and "--name value". Unconsumed (unknown) flags are
+// surfaced after parsing: strict callers reject them via
+// check_all_consumed() (typos in experiment sweeps fail loudly instead of
+// silently running defaults); the bench harness instead prints a warning via
+// warn_unconsumed() and points at --help, so a flag that only some bench
+// binaries understand doesn't abort a sweep over all of them.
 #pragma once
 
+#include <iosfwd>
 #include <map>
 #include <string>
 
@@ -23,6 +28,11 @@ class Flags {
   /// Names that were provided but never read — used to reject typos.
   /// Call after all get_*() calls.
   void check_all_consumed() const;
+
+  /// Softer variant: prints one warning line per unconsumed flag to `os`
+  /// (and a pointer to --help) instead of throwing. Returns the number of
+  /// unconsumed flags. Call after all get_*() calls.
+  int warn_unconsumed(std::ostream& os) const;
 
  private:
   std::map<std::string, std::string> values_;

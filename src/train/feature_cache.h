@@ -34,13 +34,18 @@ class FeatureCache {
   static FeatureCache& global();
 
   /// Memoized InputFeatureBuilder::build(s.graph(), a) — the ground-truth
-  /// variant only. The reference stays valid until clear().
+  /// variant only. The reference stays valid until clear() and is shared
+  /// read-only data: training, evaluation and the serving batcher's worker
+  /// all read the same entry concurrently (entries are unique_ptr-backed,
+  /// so references survive rehashes and concurrent inserts).
   const Matrix& features(const Sample& s, Approach a);
 
   /// Memoized InputFeatureBuilder::node_type_labels(s.graph()).
   const Matrix& node_type_labels(const Sample& s);
 
   /// Drops every entry (tests; long-lived processes discarding a dataset).
+  /// Invalidates every outstanding reference: must not race with fits,
+  /// evaluations or a live ServingBatcher that could still read them.
   void clear();
 
   std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }

@@ -70,8 +70,20 @@ struct TrainConfig {
 /// 0.3x, then 0.1x for the last 15% (stabilizes the best-epoch selection).
 float lr_at_epoch(float base_lr, int epoch, int total_epochs);
 
+/// Runs the fixed-epoch training loop for one model over one BatchPlan.
+/// One Trainer per fit: construct, call fit() once, discard. fit() is not
+/// reentrant and must not run concurrently with anything that reads the
+/// model's parameters (the serving path takes the predictor AFTER fit has
+/// returned — see serve/serving_batcher.h). Epoch work may fan out over the
+/// global ThreadPool, but the determinism contract above makes the result
+/// independent of that pool's width.
 class Trainer {
  public:
+  /// Model-specific callbacks. Both hooks may be invoked concurrently from
+  /// shard workers (one tape per batch), so they must be pure with respect
+  /// to shared state: read the model, build onto the passed tape, touch
+  /// nothing else. Each invocation's rng is an independent per-(epoch,
+  /// batch) stream owned by the caller of the hook.
   struct Hooks {
     /// Builds the model's tape output over a graph view (a single sample's
     /// tensors in legacy mode, a GraphBatch::merged union in batched mode)
