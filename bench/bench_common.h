@@ -44,6 +44,9 @@ struct BenchConfig {
                                 // flag parser is int-wide; ~35min max)
   int clients = 8;              // concurrent submitter threads
   int requests = 64;            // requests per client thread
+  // DSE knobs (bench_dse; see dse/design_space.h + dse/explorer.h).
+  int dse_points = 48;          // design-space size floor (grid_with_at_least)
+  int dse_topk = 0;             // ground-truth budget (0 = max(1, points/4))
   std::uint64_t seed = 1;
 };
 
@@ -77,7 +80,12 @@ inline void print_bench_usage(std::ostream& os) {
         "                         disables micro-batching)\n"
         "  --batch-window-us=N    longest wait for co-batchable traffic\n"
         "  --clients=N            concurrent submitter threads\n"
-        "  --requests=N           requests per client thread\n";
+        "  --requests=N           requests per client thread\n"
+        "dse flags (bench_dse):\n"
+        "  --dse-points=N         minimum design-space size (the knob grid\n"
+        "                         grows deterministically to at least N)\n"
+        "  --dse-topk=K           successive-halving ground-truth budget\n"
+        "                         (0 = max(1, points/4), the 25% cap)\n";
 }
 
 inline BenchConfig parse_bench_config(int argc, const char* const* argv) {
@@ -122,6 +130,8 @@ inline BenchConfig parse_bench_config(int argc, const char* const* argv) {
   cfg.batch_window_us = flags.get_int("batch-window-us", cfg.batch_window_us);
   cfg.clients = flags.get_int("clients", cfg.clients);
   cfg.requests = flags.get_int("requests", cfg.requests);
+  cfg.dse_points = flags.get_int("dse-points", cfg.dse_points);
+  cfg.dse_topk = flags.get_int("dse-topk", cfg.dse_topk);
   cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   flags.warn_unconsumed(std::cerr);
   if (cfg.threads <= 0) {

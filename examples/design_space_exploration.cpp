@@ -1,83 +1,65 @@
-// Design-space exploration with a learned QoR predictor — the use case that
-// motivates early prediction (the paper's IronMan lineage): rank candidate
-// implementations of a kernel *before* synthesizing any of them.
+// Design-space exploration on the src/dse/ engine — the use case that
+// motivates early QoR prediction (the paper's IronMan lineage): rank and
+// prune candidate implementations of a kernel *before* synthesizing them.
 //
-// We sweep a matrix-multiply kernel across unroll factors and datapath
-// bitwidths, predict LUT cost for every variant from its IR graph, and
-// compare the predicted ranking with the ground-truth ranking from the HLS
-// simulator (Spearman rank correlation).
+//   1. Train LUT and FF predictors on generic synthetic CDFG programs.
+//   2. Declare a gemm design space: unroll x datapath-bitwidth source knobs
+//      (suites/variants.h) on a fixed scheduler config.
+//   3. Explore it twice: an exhaustive ground-truth sweep (one HLS run per
+//      candidate — the cost DSE exists to avoid) and predictor-guided
+//      successive halving (ground truth only for the surviving top-k).
+//   4. Compare: Spearman rank fidelity, the LUT/FF Pareto fronts, and the
+//      ground-truth budget.
 //
-// Build & run:  ./build/examples/design_space_exploration
-#include <algorithm>
+// Exit code 1 if the two strategies disagree on the Pareto front or the
+// true top-1 at this fixed seed — CI runs this binary as the Release DSE
+// quality smoke. (Everything here is deterministic: same seed + space =>
+// identical fronts, the dse/ determinism contract.)
+//
+// Build & run:  ./build/design_space_exploration
 #include <iostream>
-#include <numeric>
 
-#include "core/predictor.h"
+#include "dse/explorer.h"
 #include "support/table.h"
+#include "support/timer.h"
 
 using namespace gnnhls;
 
 namespace {
 
-/// gemm variant: `unroll` independent multiply-accumulate chains per
-/// iteration (loop unrolling trades area for latency), `bits`-wide datapath.
-Function make_gemm_variant(int unroll, int bits) {
-  constexpr long n = 8;
-  Function f;
-  f.name = "gemm_u" + std::to_string(unroll) + "_w" + std::to_string(bits);
-  f.params = {Param{"a", ScalarType{bits, true}, n * n, false},
-              Param{"b", ScalarType{bits, true}, n * n, false}};
-  f.body.push_back(decl_array("c", ScalarType{bits, true}, n * n));
-  std::vector<StmtPtr> body;
-  for (int u = 0; u < unroll; ++u) {
-    const std::string acc = "acc" + std::to_string(u);
-    body.push_back(decl(
-        acc, ScalarType{bits, true},
-        bin(BinOpKind::kMul,
-            aref("a", bin(BinOpKind::kAnd,
-                          bin(BinOpKind::kAdd, var("i"), lit(u)),
-                          lit(n * n - 1))),
-            aref("b", bin(BinOpKind::kAnd,
-                          bin(BinOpKind::kAdd, var("i"), lit(u * 7)),
-                          lit(n * n - 1))))));
-    body.push_back(assign_array(
-        "c", bin(BinOpKind::kAnd, bin(BinOpKind::kAdd, var("i"), lit(u)),
-                 lit(n * n - 1)),
-        var(acc)));
-  }
-  f.body.push_back(for_stmt("i", 0, n * n / unroll, 1, std::move(body)));
-  f.body.push_back(ret(aref("c", lit(0))));
-  return f;
+QorPredictor train_predictor(const std::vector<Sample>& corpus,
+                             const SplitIndices& split, Metric metric) {
+  ModelConfig mc;
+  mc.kind = GnnKind::kRgcn;
+  mc.hidden = 32;
+  mc.layers = 3;
+  TrainConfig tc;
+  tc.epochs = 30;
+  tc.lr = 1e-2F;
+  tc.batch_size = 8;
+  QorPredictor predictor(Approach::kOffTheShelf, mc, tc);
+  Timer t;
+  const double val = predictor.fit(corpus, split, metric);
+  std::cout << "  " << metric_name(metric) << " predictor: val MAPE "
+            << TextTable::pct(val) << " in " << TextTable::num(t.seconds(), 1)
+            << "s\n";
+  return predictor;
 }
 
-double spearman_rank_correlation(const std::vector<double>& a,
-                                 const std::vector<double>& b) {
-  const auto ranks = [](const std::vector<double>& v) {
-    std::vector<int> order(v.size());
-    std::iota(order.begin(), order.end(), 0);
-    std::sort(order.begin(), order.end(),
-              [&](int x, int y) { return v[static_cast<std::size_t>(x)] <
-                                         v[static_cast<std::size_t>(y)]; });
-    std::vector<double> r(v.size());
-    for (std::size_t i = 0; i < order.size(); ++i) {
-      r[static_cast<std::size_t>(order[i])] = static_cast<double>(i);
-    }
-    return r;
-  };
-  const std::vector<double> ra = ranks(a), rb = ranks(b);
-  const double n = static_cast<double>(a.size());
-  double d2 = 0.0;
-  for (std::size_t i = 0; i < ra.size(); ++i) {
-    d2 += (ra[i] - rb[i]) * (ra[i] - rb[i]);
+std::string front_labels(const DseResult& r, const std::vector<int>& front) {
+  std::string out;
+  for (int i : front) {
+    if (!out.empty()) out += ", ";
+    out += r.candidates[static_cast<std::size_t>(i)].point.label();
   }
-  return 1.0 - 6.0 * d2 / (n * (n * n - 1.0));
+  return out.empty() ? "(empty)" : out;
 }
 
 }  // namespace
 
 int main() {
-  // ----- train a LUT predictor on generic synthetic CDFGs -----
-  std::cout << "training LUT predictor on 200 synthetic CDFG programs...\n";
+  // ----- 1. train predictors on generic synthetic CDFGs -----
+  std::cout << "== 1. training on 200 synthetic CDFG programs ==\n";
   SyntheticDatasetConfig dc;
   dc.kind = GraphKind::kCdfg;
   dc.num_graphs = 200;
@@ -85,46 +67,61 @@ int main() {
   const std::vector<Sample> corpus = build_synthetic_dataset(dc);
   const SplitIndices split =
       split_80_10_10(static_cast<int>(corpus.size()), 5);
-  ModelConfig mc;
-  mc.kind = GnnKind::kRgcn;
-  mc.hidden = 32;
-  mc.layers = 3;
-  TrainConfig tc;
-  tc.epochs = 45;
-  tc.lr = 1e-2F;
-  QorPredictor predictor(Approach::kOffTheShelf, mc, tc);
-  predictor.fit(corpus, split, Metric::kLut);
-  std::cout << "  test MAPE on synthetic: "
-            << TextTable::pct(predictor.evaluate_mape(corpus, split.test))
-            << "\n\n";
+  const QorPredictor lut = train_predictor(corpus, split, Metric::kLut);
+  const QorPredictor ff = train_predictor(corpus, split, Metric::kFf);
+  const PredictorScorer scorer({{Metric::kLut, &lut}, {Metric::kFf, &ff}});
 
-  // ----- sweep the design space -----
-  TextTable table({"variant", "predicted LUT", "actual LUT", "actual DSP",
-                   "latency (cycles)"});
-  std::vector<double> predicted, actual;
-  for (int unroll : {1, 2, 4, 8}) {
-    for (int bits : {8, 16, 32}) {
-      const Function variant = make_gemm_variant(unroll, bits);
-      Sample s = make_sample(variant, GraphKind::kCdfg, HlsConfig{},
-                             "dse/" + variant.name);
-      LoweredProgram prog = lower_to_cdfg(variant);
-      const HlsOutcome outcome = run_hls_flow(prog);
-      const double pred = predictor.predict(s);
-      predicted.push_back(pred);
-      actual.push_back(s.truth.lut);
-      table.add_row({variant.name, TextTable::num(pred, 0),
-                     TextTable::num(s.truth.lut, 0),
-                     TextTable::num(s.truth.dsp, 0),
-                     TextTable::num(outcome.latency_cycles, 0)});
-    }
+  // ----- 2. declare the design space -----
+  const DesignSpace space = make_kernel_design_space("gemm");
+  DseConfig cfg;
+  cfg.front_metrics = {Metric::kLut, Metric::kFf};
+  cfg.rank_metric = Metric::kLut;
+  cfg.top_k = 6;
+  const Explorer explorer(space, scorer, cfg);
+  std::cout << "\n== 2. design space: gemm, " << space.size()
+            << " candidates (unroll x bitwidth) ==\n";
+
+  // ----- 3. explore: exhaustive sweep vs successive halving -----
+  const DseResult exh = explorer.exhaustive();
+  const DseResult sh = explorer.successive_halving();
+
+  TextTable table({"variant", "pred LUT", "true LUT", "pred FF", "true FF",
+                   "latency", "synthesized by halving"});
+  std::vector<double> pred_lut, true_lut;
+  for (std::size_t i = 0; i < exh.candidates.size(); ++i) {
+    const DseCandidate& c = exh.candidates[i];
+    const double p = c.predicted[static_cast<std::size_t>(Metric::kLut)];
+    pred_lut.push_back(p);
+    true_lut.push_back(metric_of(c.sample.truth, Metric::kLut));
+    table.add_row(
+        {c.point.label(), TextTable::num(p, 0),
+         TextTable::num(metric_of(c.sample.truth, Metric::kLut), 0),
+         TextTable::num(
+             c.predicted[static_cast<std::size_t>(Metric::kFf)], 0),
+         TextTable::num(metric_of(c.sample.truth, Metric::kFf), 0),
+         TextTable::num(c.latency_cycles, 0),
+         sh.candidates[i].synthesized ? "yes" : "pruned"});
   }
-  std::cout << "design space (predictions need no HLS run per variant):\n"
+  std::cout << "\n== 3. design space (predictions need no HLS run) ==\n"
             << table.to_string();
 
-  const double rho = spearman_rank_correlation(predicted, actual);
-  std::cout << "\nSpearman rank correlation (predicted vs actual LUT): "
+  const double rho = spearman_rank_correlation(pred_lut, true_lut);
+  std::cout << "\nSpearman rank correlation (predicted vs true LUT): "
             << TextTable::num(rho, 3)
-            << "\nA high rank correlation means the predictor can drive DSE "
-               "pruning without synthesizing every candidate.\n";
+            << "\nground-truth HLS runs: exhaustive " << exh.hls_runs
+            << ", successive halving " << sh.hls_runs << "\n";
+
+  // ----- 4. the strategies must agree at this fixed seed -----
+  std::cout << "\n== 4. LUT/FF Pareto fronts ==\n"
+            << "  exhaustive: " << front_labels(exh, exh.front) << "\n"
+            << "  halving:    " << front_labels(sh, sh.front) << "\n";
+  if (sh.front != exh.front || sh.best != exh.best) {
+    std::cout << "FAIL: successive halving disagrees with the exhaustive "
+                 "sweep (front or top-1) at a fixed seed\n";
+    return 1;
+  }
+  std::cout << "successive halving recovered the exhaustive Pareto front and "
+               "top-1 with "
+            << sh.hls_runs << "/" << exh.hls_runs << " HLS runs.\n";
   return 0;
 }

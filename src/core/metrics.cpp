@@ -1,6 +1,8 @@
 #include "core/metrics.h"
 
+#include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "support/check.h"
 
@@ -27,6 +29,50 @@ double binary_accuracy(const std::vector<int>& pred,
     if ((pred[i] != 0) == (truth[i] != 0)) ++correct;
   }
   return static_cast<double>(correct) / static_cast<double>(pred.size());
+}
+
+std::vector<double> average_ranks(const std::vector<double>& values) {
+  std::vector<int> order(values.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&values](int x, int y) {
+    return values[static_cast<std::size_t>(x)] <
+           values[static_cast<std::size_t>(y)];
+  });
+  std::vector<double> ranks(values.size());
+  std::size_t i = 0;
+  while (i < order.size()) {
+    // [i, j] is a run of equal values; all of them get the mean 1-based rank.
+    std::size_t j = i;
+    while (j + 1 < order.size() &&
+           values[static_cast<std::size_t>(order[j + 1])] ==
+               values[static_cast<std::size_t>(order[i])]) {
+      ++j;
+    }
+    const double avg = static_cast<double>(i + j) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) {
+      ranks[static_cast<std::size_t>(order[k])] = avg;
+    }
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double spearman_rank_correlation(const std::vector<double>& a,
+                                 const std::vector<double>& b) {
+  GNNHLS_CHECK_EQ(a.size(), b.size(), "spearman: length mismatch");
+  GNNHLS_CHECK(a.size() >= 2, "spearman: need at least two points");
+  const std::vector<double> ra = average_ranks(a), rb = average_ranks(b);
+  const double n = static_cast<double>(a.size());
+  const double mean = (n + 1.0) / 2.0;  // average ranks always sum to n(n+1)/2
+  double cov = 0.0, var_a = 0.0, var_b = 0.0;
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    const double da = ra[i] - mean, db = rb[i] - mean;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a == 0.0 || var_b == 0.0) return 0.0;
+  return cov / std::sqrt(var_a * var_b);
 }
 
 }  // namespace gnnhls

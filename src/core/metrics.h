@@ -18,4 +18,20 @@ double mape(const std::vector<double>& pred, const std::vector<double>& truth,
 double binary_accuracy(const std::vector<int>& pred,
                        const std::vector<int>& truth);
 
+/// Average (fractional) ranks, 1-based; tied values share the mean of the
+/// rank positions they straddle: [10, 20, 20, 30] -> [1, 2.5, 2.5, 4].
+std::vector<double> average_ranks(const std::vector<double>& values);
+
+/// Spearman rank correlation with proper tie handling: the Pearson
+/// correlation of the average ranks. (The textbook 1 - 6*sum(d^2)/(n(n^2-1))
+/// shortcut is equivalent only when all values are distinct — assigning
+/// arbitrary distinct ranks to ties overstates |rho|.) Returns 0 when either
+/// input is constant (the correlation is undefined, and a constant ranking
+/// carries no ordering information). Throws on length mismatch or n < 2.
+///
+/// This is the DSE fidelity metric: rho(predicted QoR, true QoR) over a
+/// candidate set says how well the predictor's ranking can drive pruning.
+double spearman_rank_correlation(const std::vector<double>& a,
+                                 const std::vector<double>& b);
+
 }  // namespace gnnhls

@@ -1,0 +1,99 @@
+#include "dse/design_space.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "frontend/lower.h"
+#include "suites/variants.h"
+#include "support/check.h"
+
+namespace gnnhls {
+
+KnobGrid grid_with_at_least(int points) {
+  GNNHLS_CHECK(points >= 1, "grid_with_at_least: need a positive size");
+  KnobGrid g;
+  // Extension order is fixed so a given `points` always yields the same
+  // grid: alternate an extra bitwidth and an extra clock target.
+  static const int kExtraBits[] = {4, 12, 20, 24, 28, 40, 48, 56, 64};
+  static const double kExtraClocks[] = {6.0, 8.0, 12.0, 15.0};
+  std::size_t bi = 0, ci = 0;
+  while (g.size() < static_cast<std::size_t>(points)) {
+    bool grew = false;
+    if (bi < sizeof(kExtraBits) / sizeof(kExtraBits[0])) {
+      g.bitwidth.push_back(kExtraBits[bi++]);
+      grew = true;
+    }
+    if (g.size() < static_cast<std::size_t>(points) &&
+        ci < sizeof(kExtraClocks) / sizeof(kExtraClocks[0])) {
+      g.clock_ns.push_back(kExtraClocks[ci++]);
+      grew = true;
+    }
+    GNNHLS_CHECK(grew, "grid_with_at_least: requested size exceeds the grid");
+  }
+  return g;
+}
+
+std::string DesignPoint::label() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "u%d_w%d_c%g_q%g", unroll, bitwidth,
+                hls.clock_ns, hls.clock_uncertainty);
+  return buf;
+}
+
+DesignSpace::DesignSpace(std::string kernel_name, Builder builder,
+                         KnobGrid grid)
+    : kernel_name_(std::move(kernel_name)),
+      builder_(std::move(builder)),
+      grid_(std::move(grid)) {
+  GNNHLS_CHECK(builder_ != nullptr, "DesignSpace: null builder");
+  GNNHLS_CHECK(grid_.size() > 0, "DesignSpace: empty knob grid");
+}
+
+std::vector<DesignPoint> DesignSpace::enumerate() const {
+  std::vector<DesignPoint> points;
+  points.reserve(grid_.size());
+  int index = 0;
+  for (int unroll : grid_.unroll) {
+    for (int bits : grid_.bitwidth) {
+      for (double clock : grid_.clock_ns) {
+        for (double unc : grid_.clock_uncertainty) {
+          DesignPoint p;
+          p.index = index++;
+          p.unroll = unroll;
+          p.bitwidth = bits;
+          p.hls.clock_ns = clock;
+          p.hls.clock_uncertainty = unc;
+          points.push_back(p);
+        }
+      }
+    }
+  }
+  return points;
+}
+
+Sample DesignSpace::lower_candidate(const DesignPoint& p) const {
+  Sample s(lower_to_cdfg(build(p)));
+  s.tensors = GraphTensors::build(s.prog.graph);
+  s.origin = "dse/" + kernel_name_ + "/" + p.label();
+  return s;
+}
+
+DesignSpace make_kernel_design_space(const std::string& kernel,
+                                     KnobGrid grid) {
+  // Resolve the builder eagerly so unknown kernels throw at construction,
+  // not at the first enumerate().
+  for (const VariantKernel& k : dse_variant_kernels()) {
+    if (k.name == kernel) {
+      VariantBuilder build = k.build;
+      return DesignSpace(
+          kernel,
+          [build](const DesignPoint& p) {
+            return build(p.unroll, p.bitwidth);
+          },
+          std::move(grid));
+    }
+  }
+  throw std::invalid_argument("unknown DSE kernel: " + kernel);
+}
+
+}  // namespace gnnhls

@@ -1,0 +1,33 @@
+#include "dse/pareto.h"
+
+#include "support/check.h"
+
+namespace gnnhls {
+
+bool dominates(const std::vector<double>& a, const std::vector<double>& b) {
+  GNNHLS_CHECK_EQ(a.size(), b.size(), "dominates: axis count mismatch");
+  GNNHLS_CHECK(!a.empty(), "dominates: need at least one axis");
+  bool strictly_better = false;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    if (a[k] > b[k]) return false;
+    if (a[k] < b[k]) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+std::vector<int> pareto_front(const std::vector<std::vector<double>>& points) {
+  std::vector<int> front;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    bool keep = true;
+    for (std::size_t j = 0; j < points.size() && keep; ++j) {
+      if (j == i) continue;
+      if (dominates(points[j], points[i])) keep = false;
+      // Duplicate tie-break: the earliest identical point represents all.
+      if (j < i && points[j] == points[i]) keep = false;
+    }
+    if (keep) front.push_back(static_cast<int>(i));
+  }
+  return front;
+}
+
+}  // namespace gnnhls

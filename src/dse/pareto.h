@@ -1,0 +1,23 @@
+// Multi-objective Pareto-front extraction over QoR vectors.
+//
+// All axes minimize (DSP/LUT/FF/CP are costs). A point is on the front iff
+// no other point dominates it. Deterministic tie-breaking: points with
+// byte-identical coordinate vectors are represented on the front once, by
+// the lowest index — so the front is a pure function of the input order,
+// never of scan order or scheduling (the dse/ determinism contract).
+#pragma once
+
+#include <vector>
+
+namespace gnnhls {
+
+/// True iff `a` dominates `b`: a <= b on every axis and a < b on at least
+/// one. Equal vectors do not dominate each other. Throws on axis mismatch.
+bool dominates(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Indices of the non-dominated points, ascending. Exact duplicates keep
+/// only their first occurrence. Every point must have the same number of
+/// axes (>= 1). O(n^2) pairwise scan — candidate sets are bench-sized.
+std::vector<int> pareto_front(const std::vector<std::vector<double>>& points);
+
+}  // namespace gnnhls

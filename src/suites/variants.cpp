@@ -1,0 +1,121 @@
+// Kernel-variant builders: one AST per (kernel, unroll, bits) design point.
+#include "suites/variants.h"
+
+#include <stdexcept>
+
+#include "suites/dsl.h"
+
+namespace gnnhls {
+
+namespace {
+
+using namespace suite_dsl;  // NOLINT(google-build-using-namespace)
+
+void check_unroll(int unroll, long trip) {
+  GNNHLS_CHECK(unroll >= 1, "variant: unroll must be >= 1");
+  GNNHLS_CHECK(trip % unroll == 0, "variant: unroll must divide trip count");
+}
+
+void check_bits(int bits) {
+  GNNHLS_CHECK(bits >= 2 && bits <= 256, "variant: bitwidth out of range");
+}
+
+std::string variant_name(const std::string& kernel, int unroll, int bits) {
+  return kernel + "_u" + std::to_string(unroll) + "_w" + std::to_string(bits);
+}
+
+}  // namespace
+
+Function make_gemm_variant(int unroll, int bits) {
+  constexpr long n = 8;
+  check_unroll(unroll, n * n);
+  check_bits(bits);
+  Function f;
+  f.name = variant_name("gemm", unroll, bits);
+  const ScalarType ty{bits, true};
+  f.params = {Param{"a", ty, n * n, false}, Param{"b", ty, n * n, false}};
+  f.body.push_back(decl_array("c", ty, n * n));
+  std::vector<StmtPtr> body;
+  for (int u = 0; u < unroll; ++u) {
+    const std::string acc = "acc" + std::to_string(u);
+    body.push_back(
+        decl(acc, ty,
+             A("a", (var("i") + lit(u)) & lit(n * n - 1)) *
+                 A("b", (var("i") + lit(u * 7)) & lit(n * n - 1))));
+    body.push_back(
+        assign_array("c", (var("i") + lit(u)) & lit(n * n - 1), var(acc)));
+  }
+  f.body.push_back(for_stmt("i", 0, n * n / unroll, 1, std::move(body)));
+  f.body.push_back(ret(A("c", lit(0))));
+  return f;
+}
+
+Function make_fir_variant(int unroll, int bits) {
+  constexpr long samples = 32, taps = 8;
+  check_unroll(unroll, samples);
+  check_bits(bits);
+  Function f;
+  f.name = variant_name("fir", unroll, bits);
+  const ScalarType ty{bits, true};
+  f.params = {Param{"x", ty, samples, false}, Param{"coef", ty, taps, false}};
+  f.body.push_back(decl_array("y", ty, samples));
+  std::vector<StmtPtr> body;
+  for (int u = 0; u < unroll; ++u) {
+    const std::string acc = "acc" + std::to_string(u);
+    // Sample index i*unroll + u; tap index folded into the coefficient ring.
+    auto idx = [&] {
+      return (var("i") * lit(unroll) + lit(u)) & lit(samples - 1);
+    };
+    body.push_back(decl(acc, ty,
+                        A("x", idx()) * A("coef", (var("i") + lit(u)) &
+                                                      lit(taps - 1))));
+    body.push_back(
+        assign_array("y", idx(), (var(acc) >> lit(1)) + A("y", idx())));
+  }
+  f.body.push_back(for_stmt("i", 0, samples / unroll, 1, std::move(body)));
+  f.body.push_back(ret(A("y", lit(0))));
+  return f;
+}
+
+Function make_stencil_variant(int unroll, int bits) {
+  constexpr long width = 32;
+  check_unroll(unroll, width);
+  check_bits(bits);
+  Function f;
+  f.name = variant_name("stencil", unroll, bits);
+  const ScalarType ty{bits, true};
+  f.params = {Param{"in", ty, width + 2, false}};
+  f.body.push_back(decl_array("out", ty, width));
+  std::vector<StmtPtr> body;
+  for (int u = 0; u < unroll; ++u) {
+    auto idx = [&](long off) {
+      return var("i") * lit(unroll) + lit(u) + lit(off);
+    };
+    // (in[i] + 2*in[i+1] + in[i+2]) / 4 — multiplier-free 3-point blur.
+    body.push_back(assign_array(
+        "out", idx(0),
+        (A("in", idx(0)) + (A("in", idx(1)) << lit(1)) + A("in", idx(2))) >>
+            lit(2)));
+  }
+  f.body.push_back(for_stmt("i", 0, width / unroll, 1, std::move(body)));
+  f.body.push_back(ret(A("out", lit(0))));
+  return f;
+}
+
+const std::vector<VariantKernel>& dse_variant_kernels() {
+  static const std::vector<VariantKernel> kernels = {
+      {"gemm", &make_gemm_variant},
+      {"fir", &make_fir_variant},
+      {"stencil", &make_stencil_variant},
+  };
+  return kernels;
+}
+
+Function make_variant(const std::string& kernel, int unroll, int bits) {
+  for (const VariantKernel& k : dse_variant_kernels()) {
+    if (k.name == kernel) return k.build(unroll, bits);
+  }
+  throw std::invalid_argument("unknown DSE kernel: " + kernel);
+}
+
+}  // namespace gnnhls

@@ -1,0 +1,51 @@
+// Parameterized kernel-variant builders for design-space exploration.
+//
+// Each builder produces one implementation candidate of a kernel, shaped by
+// the two classic HLS source-level knobs:
+//
+//   * `unroll`  — independent operation chains per loop iteration (the
+//     unroll pragma: trades area for latency; must divide the kernel's trip
+//     count, powers of two up to 8 are always valid),
+//   * `bits`    — datapath bitwidth (narrow datapaths dodge DSP thresholds
+//     and shrink glue logic; wide ones grow every operator).
+//
+// The builders are pure functions of their knobs: the same (kernel, unroll,
+// bits) always yields a structurally identical AST, which is what makes
+// DesignSpace enumeration deterministic (src/dse/design_space.h). Scheduler
+// knobs (clock, uncertainty) are *not* baked into the AST — they travel in
+// HlsConfig and only affect the HLS flow.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "frontend/ast.h"
+
+namespace gnnhls {
+
+/// gemm: `unroll` multiply-accumulate chains per iteration over an 8x8
+/// product (the motivating example of predictor-driven DSE).
+Function make_gemm_variant(int unroll, int bits);
+
+/// fir: `unroll` taps of a 32-sample, 8-tap FIR filter evaluated per
+/// iteration (multiply + shift-accumulate mix).
+Function make_fir_variant(int unroll, int bits);
+
+/// stencil: `unroll` copies of a 3-point 1D stencil body per iteration
+/// (add/shift heavy, no multiplies — a LUT/FF-dominated corner).
+Function make_stencil_variant(int unroll, int bits);
+
+using VariantBuilder = Function (*)(int unroll, int bits);
+
+struct VariantKernel {
+  std::string name;  // "gemm" | "fir" | "stencil"
+  VariantBuilder build;
+};
+
+/// All explorable kernels, in fixed order.
+const std::vector<VariantKernel>& dse_variant_kernels();
+
+/// Builds a variant by kernel name; throws on unknown kernels.
+Function make_variant(const std::string& kernel, int unroll, int bits);
+
+}  // namespace gnnhls

@@ -33,6 +33,59 @@ TEST(AccuracyTest, CountsMatches) {
   EXPECT_NEAR(binary_accuracy({2, 0}, {1, 0}), 1.0, 1e-9);  // nonzero == true
 }
 
+// ----- Spearman rank correlation -----
+
+TEST(SpearmanTest, AverageRanksHandleTies) {
+  EXPECT_EQ(average_ranks({10.0, 20.0, 20.0, 30.0}),
+            (std::vector<double>{1.0, 2.5, 2.5, 4.0}));
+  EXPECT_EQ(average_ranks({5.0, 5.0, 5.0}),
+            (std::vector<double>{2.0, 2.0, 2.0}));
+  EXPECT_EQ(average_ranks({3.0, 1.0, 2.0}),
+            (std::vector<double>{3.0, 1.0, 2.0}));
+}
+
+TEST(SpearmanTest, PerfectMonotoneIsPlusMinusOne) {
+  EXPECT_NEAR(spearman_rank_correlation({1.0, 2.0, 3.0, 4.0},
+                                        {10.0, 20.0, 40.0, 80.0}),
+              1.0, 1e-12);
+  EXPECT_NEAR(spearman_rank_correlation({1.0, 2.0, 3.0, 4.0},
+                                        {8.0, 4.0, 2.0, 1.0}),
+              -1.0, 1e-12);
+}
+
+TEST(SpearmanTest, DistinctRanksMatchTextbookFormula) {
+  // No ties: 1 - 6*sum(d^2)/(n(n^2-1)) with d = (0,... ) gives 0.8.
+  EXPECT_NEAR(spearman_rank_correlation({1.0, 2.0, 3.0, 4.0, 5.0},
+                                        {2.0, 1.0, 4.0, 3.0, 5.0}),
+              0.8, 1e-12);
+}
+
+TEST(SpearmanTest, TiesGetAverageRanks) {
+  // Identical tie structure on both sides is a perfect rank agreement —
+  // the pre-fix ranking assigned the ties distinct ranks and reported < 1.
+  EXPECT_NEAR(spearman_rank_correlation({1.0, 2.0, 2.0, 3.0},
+                                        {1.0, 2.0, 2.0, 3.0}),
+              1.0, 1e-12);
+  EXPECT_NEAR(spearman_rank_correlation({1.0, 2.0, 2.0, 4.0},
+                                        {4.0, 3.0, 3.0, 1.0}),
+              -1.0, 1e-12);
+  // One-sided tie, hand-computed Pearson on ranks (1.5, 1.5, 3) x (1, 2, 3):
+  // cov 1.5, var 1.5 * 2 -> rho = 1.5 / sqrt(3).
+  EXPECT_NEAR(spearman_rank_correlation({1.0, 1.0, 2.0}, {1.0, 2.0, 3.0}),
+              1.5 / std::sqrt(3.0), 1e-12);
+}
+
+TEST(SpearmanTest, ConstantInputHasNoOrdering) {
+  EXPECT_EQ(spearman_rank_correlation({7.0, 7.0, 7.0}, {1.0, 2.0, 3.0}), 0.0);
+}
+
+TEST(SpearmanTest, InputValidation) {
+  EXPECT_THROW(spearman_rank_correlation({1.0}, {1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(spearman_rank_correlation({1.0, 2.0}, {1.0}),
+               std::invalid_argument);
+}
+
 // ----- parameter snapshots -----
 
 TEST(SnapshotTest, RestoreRecoversValues) {

@@ -35,6 +35,41 @@ TEST_P(TargetTransformTest, MonotoneInValue) {
   }
 }
 
+TEST_P(TargetTransformTest, RoundTripAcrossExtremeMagnitudes) {
+  // Resource counts span orders of magnitude; the float32 encoding must
+  // round-trip every scale a real design can produce to float precision
+  // (relative, with an absolute floor for the near-zero end).
+  for (double v : {0.0, 1e-6, 0.25, 1.0, 3.0, 7.5, 1e2, 12345.0, 1e6, 1e9,
+                   1e12}) {
+    const float e = encode_target(v, GetParam());
+    const double back = decode_target(e, GetParam());
+    EXPECT_NEAR(back, v, std::max(std::abs(v) * 1e-5, 1e-6))
+        << "metric " << metric_name(GetParam()) << " value " << v;
+  }
+  // Zero is exact, not merely near.
+  EXPECT_EQ(decode_target(encode_target(0.0, GetParam()), GetParam()), 0.0);
+}
+
+TEST_P(TargetTransformTest, EncodedSpaceIsAFixedPoint) {
+  // decode -> encode recovers the encoded float BIT-EXACTLY: encode is the
+  // left inverse of decode on the whole non-negative encoded range, so a
+  // model output decoded for reporting and re-encoded for a loss never
+  // drifts. (The double intermediates carry ~29 more mantissa bits than
+  // the float result, so the final rounding lands on the original float.)
+  for (float e : {0.0F, 1e-4F, 0.5F, 1.0F, 3.25F, 10.0F, 27.5F, 80.0F}) {
+    EXPECT_EQ(encode_target(decode_target(e, GetParam()), GetParam()), e)
+        << "metric " << metric_name(GetParam()) << " encoded " << e;
+  }
+}
+
+TEST(TargetTransformTest, NegativeEncodingsDecodeToZeroCounts) {
+  // Models can emit slightly negative encodings; count metrics clamp them
+  // to the zero-resource design instead of returning negative resources.
+  for (Metric m : {Metric::kDsp, Metric::kLut, Metric::kFf}) {
+    EXPECT_EQ(decode_target(-0.5F, m), 0.0);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllMetrics, TargetTransformTest,
                          ::testing::ValuesIn(kAllMetrics),
                          [](const ::testing::TestParamInfo<Metric>& info) {
