@@ -43,14 +43,19 @@ int run(int argc, const char* const* argv) {
   run_parallel(std::move(jobs), cfg.threads);
 
   TextTable table({"layers \\ hidden", "16", "32", "64"});
+  BenchJsonLog json_log;
   for (std::size_t l = 0; l < layer_options.size(); ++l) {
     std::vector<std::string> row{std::to_string(layer_options[l])};
     for (std::size_t h = 0; h < hidden_options.size(); ++h) {
       row.push_back(TextTable::pct(results[l][h]));
+      json_log.add("layers=" + std::to_string(layer_options[l]) +
+                       " hidden=" + std::to_string(hidden_options[h]),
+                   results[l][h], "mape");
     }
     table.add_row(std::move(row));
   }
   std::cout << "\nLUT MAPE by capacity:\n" << table.to_string();
+  write_bench_json(cfg, json_log, "ablation_capacity");
 
   ShapeChecks checks;
   // Message passing must help: >=2 layers beats 1 layer at equal width.

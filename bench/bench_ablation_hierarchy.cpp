@@ -70,6 +70,7 @@ int run(int argc, const char* const* argv) {
   run_parallel(std::move(jobs), cfg.threads);
 
   TextTable table({"variant", "DSP", "LUT", "FF", "CP", "mean"});
+  BenchJsonLog json_log;
   std::array<double, 4> mean{};
   for (std::size_t v = 0; v < variants.size(); ++v) {
     std::vector<std::string> row{variants[v].name};
@@ -81,8 +82,10 @@ int run(int argc, const char* const* argv) {
     mean[v] = avg;
     row.push_back(TextTable::pct(avg));
     table.add_row(std::move(row));
+    json_log.add(std::string(variants[v].name) + " mean", avg, "mape");
   }
   std::cout << "\n" << table.to_string();
+  write_bench_json(cfg, json_log, "ablation_hierarchy");
 
   ShapeChecks checks;
   checks.check("self-inferred -I improves over base", mean[1] < mean[0]);

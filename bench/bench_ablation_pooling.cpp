@@ -40,14 +40,19 @@ int run(int argc, const char* const* argv) {
   run_parallel(std::move(jobs), cfg.threads);
 
   TextTable table({"pooling", "DSP", "LUT", "FF", "CP"});
+  BenchJsonLog json_log;
   for (int pool = 0; pool < 2; ++pool) {
     std::vector<std::string> row{pool == 0 ? "sum" : "mean"};
     for (int m = 0; m < kNumMetrics; ++m) {
       row.push_back(TextTable::pct(results[pool][m]));
+      json_log.add(std::string(pool == 0 ? "sum " : "mean ") +
+                       metric_name(static_cast<Metric>(m)),
+                   results[pool][m], "mape");
     }
     table.add_row(std::move(row));
   }
   std::cout << "\n" << table.to_string();
+  write_bench_json(cfg, json_log, "ablation_pooling");
 
   ShapeChecks checks;
   const double sum_resources =

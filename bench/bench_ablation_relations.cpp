@@ -78,6 +78,7 @@ int run(int argc, const char* const* argv) {
   run_parallel(std::move(jobs), cfg.threads);
 
   TextTable table({"relations", "LUT", "FF", "mean"});
+  BenchJsonLog json_log;
   std::array<double, 3> mean{};
   for (int mode = 0; mode < 3; ++mode) {
     mean[static_cast<std::size_t>(mode)] =
@@ -86,8 +87,12 @@ int run(int argc, const char* const* argv) {
                    TextTable::pct(results[mode][0]),
                    TextTable::pct(results[mode][1]),
                    TextTable::pct(mean[static_cast<std::size_t>(mode)])});
+    json_log.add(std::string(modes[static_cast<std::size_t>(mode)]) +
+                     " mean",
+                 mean[static_cast<std::size_t>(mode)], "mape");
   }
   std::cout << "\n" << table.to_string();
+  write_bench_json(cfg, json_log, "ablation_relations");
 
   ShapeChecks checks;
   checks.check("full relations beat a single relation", mean[0] < mean[2]);

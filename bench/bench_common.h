@@ -10,7 +10,9 @@
 #pragma once
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -48,6 +50,10 @@ struct BenchConfig {
   int dse_points = 48;          // design-space size floor (grid_with_at_least)
   int dse_topk = 0;             // ground-truth budget (0 = max(1, points/4))
   std::uint64_t seed = 1;
+  // Perf-trajectory artifact: when non-empty, the bench writes its result
+  // table to this path as JSON (see BenchJsonLog; scripts/bench_compare.py
+  // diffs two such artifacts).
+  std::string json_path;
 };
 
 /// Every flag shared by the bench binaries, with defaults. Printed by
@@ -85,7 +91,11 @@ inline void print_bench_usage(std::ostream& os) {
         "  --dse-points=N         minimum design-space size (the knob grid\n"
         "                         grows deterministically to at least N)\n"
         "  --dse-topk=K           successive-halving ground-truth budget\n"
-        "                         (0 = max(1, points/4), the 25% cap)\n";
+        "                         (0 = max(1, points/4), the 25% cap)\n"
+        "perf tracking:\n"
+        "  --json=PATH            also write the bench's result table to\n"
+        "                         PATH as JSON (BENCH_<name>.json artifact;\n"
+        "                         compare runs with scripts/bench_compare.py)\n";
 }
 
 inline BenchConfig parse_bench_config(int argc, const char* const* argv) {
@@ -132,6 +142,7 @@ inline BenchConfig parse_bench_config(int argc, const char* const* argv) {
   cfg.requests = flags.get_int("requests", cfg.requests);
   cfg.dse_points = flags.get_int("dse-points", cfg.dse_points);
   cfg.dse_topk = flags.get_int("dse-topk", cfg.dse_topk);
+  cfg.json_path = flags.get_string("json", "");
   cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   flags.warn_unconsumed(std::cerr);
   if (cfg.threads <= 0) {
@@ -249,5 +260,65 @@ class ShapeChecks {
   int passed_ = 0;
   int total_ = 0;
 };
+
+/// Machine-readable result log: the perf-trajectory half of every bench.
+/// Benches add one entry per measured number (same rows their TextTable
+/// prints) and write_bench_json emits a `BENCH_<name>.json` artifact that
+/// scripts/bench_compare.py can diff against a committed baseline. Units
+/// ending in "/s" (graphs/s, cand/s, items/s) are treated as higher-is-
+/// better by the comparer; everything else (s, us, ns) as lower-is-better.
+class BenchJsonLog {
+ public:
+  void add(const std::string& name, double value, const std::string& unit) {
+    entries_.push_back(Entry{name, value, unit});
+  }
+
+  /// Writes {"bench": ..., "entries": [{name, value, unit}...]}.
+  void write(std::ostream& os, const std::string& bench_name) const {
+    os.precision(12);
+    os << "{\n  \"bench\": \"" << escape(bench_name)
+       << "\",\n  \"entries\": [";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (i > 0) os << ',';
+      os << "\n    {\"name\": \"" << escape(entries_[i].name)
+         << "\", \"value\": " << entries_[i].value << ", \"unit\": \""
+         << escape(entries_[i].unit) << "\"}";
+    }
+    os << "\n  ]\n}\n";
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    double value;
+    std::string unit;
+  };
+
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::vector<Entry> entries_;
+};
+
+/// Writes the log to cfg.json_path (no-op when --json was not given).
+inline void write_bench_json(const BenchConfig& cfg, const BenchJsonLog& log,
+                             const std::string& bench_name) {
+  if (cfg.json_path.empty()) return;
+  std::ofstream out(cfg.json_path);
+  if (!out) {
+    std::cerr << "warning: cannot write --json file " << cfg.json_path
+              << "\n";
+    return;
+  }
+  log.write(out, bench_name);
+  std::cout << "wrote " << cfg.json_path << "\n";
+}
 
 }  // namespace gnnhls::bench

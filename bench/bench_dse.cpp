@@ -204,6 +204,11 @@ int run(int argc, const char* const* argv) {
   std::vector<int> batch_sizes = {1};
   if (cfg.max_batch > 1) batch_sizes.push_back(cfg.max_batch);
   TextTable throughput({"threads", "max-batch", "wall (s)", "cand/s"});
+  BenchJsonLog json_log;
+  for (Metric m : dse.front_metrics) {
+    json_log.add(std::string("spearman ") + metric_name(m),
+                 rank_quality(exh, m), "rho");
+  }
   bool sweep_identical = true;
   for (int threads : thread_counts) {
     ThreadPool::set_global_threads(threads);
@@ -225,12 +230,16 @@ int run(int argc, const char* const* argv) {
           {std::to_string(threads), std::to_string(max_batch),
            TextTable::num(wall, 3),
            TextTable::num(static_cast<double>(n) / wall, 1)});
+      json_log.add("halving threads=" + std::to_string(threads) +
+                       " max-batch=" + std::to_string(max_batch),
+                   static_cast<double>(n) / wall, "cand/s");
     }
   }
   ThreadPool::set_global_threads(1);  // bench harness convention
   checks.check("sweep rows bit-identical across threads x max-batch",
                sweep_identical);
   std::cout << throughput.to_string() << "\n";
+  write_bench_json(cfg, json_log, "dse");
 
   checks.summary();
   const bool hard_ok =

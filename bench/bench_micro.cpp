@@ -6,11 +6,17 @@
 // Extra flags handled before google-benchmark sees argv:
 //   --threads=N  sizes the kernel thread pool (and the restore default the
 //                pool benches fall back to); 0/absent = hardware concurrency
-//   --smoke      runs only the Trainer epoch benches (the CI throughput
-//                canary): --benchmark_filter=BM_Trainer
+//   --smoke      runs the CI canary subset: Trainer epochs plus the
+//                deterministic kernel benches (segment scatter + blocked
+//                matmul, whose in-bench bit-identity asserts are the gate)
+//   --json=PATH  write results as JSON (google-benchmark's console output
+//                stays on stdout); shorthand for --benchmark_out=PATH
+//                --benchmark_out_format=json, matching the --json flag of
+//                the bench_common harness benches
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
+#include <iostream>
 #include <string>
 #include <vector>
 
@@ -22,6 +28,7 @@
 #include "nn/adam.h"
 #include "progen/progen.h"
 #include "support/parallel.h"
+#include "tensor/segment_ops.h"
 #include "train/batch_plan.h"
 #include "train/feature_cache.h"
 #include "train/trainer.h"
@@ -68,6 +75,182 @@ BENCHMARK(BM_MatmulThreads)
     ->Args({128, 4})
     ->Args({256, 1})
     ->Args({256, 4})
+    ->UseRealTime();
+
+// ----- deterministic kernel benches: serial vs parallel vs blocked -----
+// Each bench hard-asserts bit-identity against the serial reference before
+// timing anything: a nonzero exit here is the CI gate for the fixed-order
+// partition reduction contract, independent of how fast the machine is.
+
+void die_on_mismatch(bool identical, const char* what) {
+  if (identical) return;
+  std::cerr << "FATAL: " << what
+            << " is not bit-identical to the serial reference\n";
+  std::exit(1);
+}
+
+/// Power-law segment layout: destination 0 owns ~60% of all rows, the rest
+/// spread over the remaining segments — the worst case for naive equal-row
+/// chunking and therefore the shape worth timing.
+struct SegmentBenchData {
+  Matrix src;
+  std::vector<int> seg;
+  int segments;
+  SegmentPartition part;
+};
+
+const SegmentBenchData& segment_bench_data() {
+  static const SegmentBenchData* data = [] {
+    auto* d = new SegmentBenchData;
+    constexpr int kRows = 32768;
+    d->segments = 4096;
+    Rng rng(17);
+    d->seg.reserve(kRows);
+    for (int i = 0; i < kRows; ++i) {
+      d->seg.push_back(rng.bernoulli(0.6)
+                           ? 0
+                           : rng.uniform_int(1, d->segments - 1));
+    }
+    d->src = Matrix::randn(kRows, 64, rng);
+    d->part = SegmentPartition::build(d->seg, d->segments);
+    return d;
+  }();
+  return *data;
+}
+
+void BM_SegmentScatterSerial(benchmark::State& state) {
+  const SegmentBenchData& d = segment_bench_data();
+  Matrix out = Matrix::zeros(d.segments, d.src.cols());
+  for (auto _ : state) {
+    out.fill(0.0F);
+    scatter_add_rows_serial(d.src, d.seg, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(d.src.size()));
+}
+BENCHMARK(BM_SegmentScatterSerial);
+
+void BM_SegmentScatterPartitioned(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  ThreadPool::set_global_threads(threads);
+  const SegmentBenchData& d = segment_bench_data();
+  Matrix ref = Matrix::zeros(d.segments, d.src.cols());
+  scatter_add_rows_serial(d.src, d.seg, ref);
+  Matrix out = Matrix::zeros(d.segments, d.src.cols());
+  scatter_add_rows_into(d.src, d.part, out);
+  die_on_mismatch(out == ref, "partitioned segment scatter");
+  for (auto _ : state) {
+    out.fill(0.0F);
+    scatter_add_rows_into(d.src, d.part, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(d.src.size()));
+  state.SetLabel(std::to_string(threads) + " thread(s)");
+  ThreadPool::set_global_threads(g_default_threads);
+}
+BENCHMARK(BM_SegmentScatterPartitioned)->Arg(1)->Arg(2)->Arg(4)
+    ->UseRealTime();
+
+void BM_SegmentGatherBackward(benchmark::State& state) {
+  // The gather-grad path: scatter-add of upstream grads through the cached
+  // partition (what every message-passing backward pays per layer).
+  const int threads = static_cast<int>(state.range(0));
+  ThreadPool::set_global_threads(threads);
+  const SegmentBenchData& d = segment_bench_data();
+  Rng rng(19);
+  const Matrix grad = Matrix::randn(static_cast<int>(d.seg.size()),
+                                    d.src.cols(), rng);
+  Matrix ref = Matrix::zeros(d.segments, d.src.cols());
+  scatter_add_rows_serial(grad, d.seg, ref);
+  Matrix sink = Matrix::zeros(d.segments, d.src.cols());
+  scatter_add_rows_auto(grad, d.seg, nullptr, sink);
+  die_on_mismatch(sink == ref, "on-demand segment scatter");
+  for (auto _ : state) {
+    sink.fill(0.0F);
+    scatter_add_rows_into(grad, d.part, sink);
+    benchmark::DoNotOptimize(sink.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(grad.size()));
+  state.SetLabel(std::to_string(threads) + " thread(s)");
+  ThreadPool::set_global_threads(g_default_threads);
+}
+BENCHMARK(BM_SegmentGatherBackward)->Arg(1)->Arg(4)->UseRealTime();
+
+/// Blocked/parallel dense matmul vs the unblocked serial reference on the
+/// hot [N,hidden]x[hidden,hidden] shape.
+void BM_MatmulKernelReference(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int hidden = static_cast<int>(state.range(1));
+  Rng rng(1);
+  const Matrix a = Matrix::randn(n, hidden, rng);
+  const Matrix b = Matrix::randn(hidden, hidden, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul_reference(a, b).data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * hidden * hidden);
+}
+BENCHMARK(BM_MatmulKernelReference)->Args({512, 64})->Args({256, 128});
+
+void BM_MatmulKernelBlocked(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int hidden = static_cast<int>(state.range(1));
+  const int threads = static_cast<int>(state.range(2));
+  ThreadPool::set_global_threads(threads);
+  Rng rng(1);
+  const Matrix a = Matrix::randn(n, hidden, rng);
+  const Matrix b = Matrix::randn(hidden, hidden, rng);
+  die_on_mismatch(matmul(a, b) == matmul_reference(a, b), "blocked matmul");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul(a, b).data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * hidden * hidden);
+  state.SetLabel(std::to_string(threads) + " thread(s)");
+  ThreadPool::set_global_threads(g_default_threads);
+}
+BENCHMARK(BM_MatmulKernelBlocked)
+    ->Args({512, 64, 1})
+    ->Args({512, 64, 4})
+    ->Args({256, 128, 1})
+    ->Args({256, 128, 4})
+    ->UseRealTime();
+
+void BM_MatmulTbKernelReference(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int hidden = static_cast<int>(state.range(1));
+  Rng rng(2);
+  const Matrix a = Matrix::randn(n, hidden, rng);
+  const Matrix b = Matrix::randn(hidden, hidden, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul_transpose_b_reference(a, b).data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * hidden * hidden);
+}
+BENCHMARK(BM_MatmulTbKernelReference)->Args({512, 64});
+
+void BM_MatmulTbKernelBlocked(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int hidden = static_cast<int>(state.range(1));
+  const int threads = static_cast<int>(state.range(2));
+  ThreadPool::set_global_threads(threads);
+  Rng rng(2);
+  const Matrix a = Matrix::randn(n, hidden, rng);
+  const Matrix b = Matrix::randn(hidden, hidden, rng);
+  die_on_mismatch(
+      matmul_transpose_b(a, b) == matmul_transpose_b_reference(a, b),
+      "column-tiled matmul_transpose_b");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul_transpose_b(a, b).data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * hidden * hidden);
+  state.SetLabel(std::to_string(threads) + " thread(s)");
+  ThreadPool::set_global_threads(g_default_threads);
+}
+BENCHMARK(BM_MatmulTbKernelBlocked)
+    ->Args({512, 64, 1})
+    ->Args({512, 64, 4})
     ->UseRealTime();
 
 void BM_GatherScatter(benchmark::State& state) {
@@ -382,11 +565,18 @@ int main(int argc, char** argv) {
       smoke = true;
     } else if (arg.rfind("--threads=", 0) == 0) {
       threads = std::atoi(arg.c_str() + 10);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      storage.push_back("--benchmark_out=" + arg.substr(7));
+      storage.push_back("--benchmark_out_format=json");
     } else {
       storage.push_back(arg);
     }
   }
-  if (smoke) storage.push_back("--benchmark_filter=BM_Trainer");
+  if (smoke) {
+    storage.push_back(
+        "--benchmark_filter=BM_Trainer|BM_SegmentScatter|"
+        "BM_SegmentGather|BM_MatmulKernel|BM_MatmulTbKernel");
+  }
   gnnhls::g_default_threads = threads;
   gnnhls::ThreadPool::set_global_threads(threads);
 

@@ -138,6 +138,8 @@ int run(int argc, const char* const* argv) {
 
   TextTable table({"serving config", "graphs/s", "avg batch", "p50 us",
                    "p99 us", "full/timeout/drain"});
+  BenchJsonLog json_log;
+  json_log.add("sequential predict us/graph", seq_per_graph_us, "us");
   std::vector<LoadResult> results;
   for (const Row& row : rows) {
     // One warmup pass keeps first-touch allocator noise out of the table.
@@ -153,8 +155,11 @@ int run(int argc, const char* const* argv) {
          std::to_string(res.stats.flush_full) + "/" +
              std::to_string(res.stats.flush_timeout) + "/" +
              std::to_string(res.stats.flush_drain)});
+    json_log.add(row.name, res.graphs_per_s, "graphs/s");
+    json_log.add(row.name + " p99", res.p99_us, "us");
   }
   std::cout << table.to_string() << "\n";
+  write_bench_json(cfg, json_log, "serving");
 
   ShapeChecks checks;
   bool all_exact = true;

@@ -87,19 +87,25 @@ int run(int argc, const char* const* argv) {
 
   TextTable table({"model", "DFG DSP", "DFG LUT", "DFG FF", "DFG CP",
                    "CDFG DSP", "CDFG LUT", "CDFG FF", "CDFG CP"});
+  BenchJsonLog json_log;
   for (std::size_t k = 0; k < kinds.size(); ++k) {
     std::vector<std::string> row{gnn_kind_name(kinds[k])};
     for (int ds = 0; ds < 2; ++ds) {
       for (int m = 0; m < kNumMetrics; ++m) {
-        row.push_back(TextTable::pct(
-            results[static_cast<std::size_t>(ds)][k]
-                   [static_cast<std::size_t>(m)]
-                       .mape));
+        const double mape = results[static_cast<std::size_t>(ds)][k]
+                                   [static_cast<std::size_t>(m)]
+                                       .mape;
+        row.push_back(TextTable::pct(mape));
+        json_log.add(std::string(gnn_kind_name(kinds[k])) + " " +
+                         (ds == 0 ? "DFG " : "CDFG ") +
+                         metric_name(static_cast<Metric>(m)),
+                     mape, "mape");
       }
     }
     table.add_row(std::move(row));
   }
   std::cout << "\nMeasured (this substrate):\n" << table.to_string();
+  write_bench_json(cfg, json_log, "table2");
 
   TextTable ref({"model", "DFG DSP", "DFG LUT", "DFG FF", "DFG CP",
                  "CDFG DSP", "CDFG LUT", "CDFG FF", "CDFG CP"});

@@ -66,6 +66,8 @@ int run(int argc, const char* const* argv) {
 
   TextTable table({"model", "DFG DSP", "DFG LUT", "DFG FF", "CDFG DSP",
                    "CDFG LUT", "CDFG FF", "Real DSP", "Real LUT", "Real FF"});
+  BenchJsonLog json_log;
+  const char* score_sets[] = {"DFG", "CDFG", "Real"};
   for (std::size_t k = 0; k < kinds.size(); ++k) {
     table.add_row({gnn_kind_name(kinds[k]),
                    TextTable::pct(scores[k][0].dsp),
@@ -77,8 +79,19 @@ int run(int argc, const char* const* argv) {
                    TextTable::pct(scores[k][2].dsp),
                    TextTable::pct(scores[k][2].lut),
                    TextTable::pct(scores[k][2].ff)});
+    for (int s = 0; s < 3; ++s) {
+      const std::string base =
+          std::string(gnn_kind_name(kinds[k])) + " " + score_sets[s] + " ";
+      json_log.add(base + "DSP", scores[k][static_cast<std::size_t>(s)].dsp,
+                   "acc");
+      json_log.add(base + "LUT", scores[k][static_cast<std::size_t>(s)].lut,
+                   "acc");
+      json_log.add(base + "FF", scores[k][static_cast<std::size_t>(s)].ff,
+                   "acc");
+    }
   }
   std::cout << "\nMeasured (this substrate):\n" << table.to_string();
+  write_bench_json(cfg, json_log, "table3");
 
   TextTable ref({"model", "DFG DSP", "DFG LUT", "DFG FF", "CDFG DSP",
                  "CDFG LUT", "CDFG FF", "Real DSP", "Real LUT", "Real FF"});

@@ -75,19 +75,25 @@ int run(int argc, const char* const* argv) {
 
   TextTable table({"model", "DFG DSP", "DFG LUT", "DFG FF", "DFG CP",
                    "CDFG DSP", "CDFG LUT", "CDFG FF", "CDFG CP"});
+  BenchJsonLog json_log;
   for (std::size_t b = 0; b < backbones.size(); ++b) {
     for (std::size_t a = 0; a < kApproaches.size(); ++a) {
-      std::vector<std::string> row{gnn_kind_name(backbones[b]) +
-                                   approach_suffix(kApproaches[a])};
+      const std::string model_name =
+          gnn_kind_name(backbones[b]) + approach_suffix(kApproaches[a]);
+      std::vector<std::string> row{model_name};
       for (int ds = 0; ds < 2; ++ds) {
         for (int m = 0; m < kNumMetrics; ++m) {
           row.push_back(TextTable::pct(results[b][a][ds][m]));
+          json_log.add(model_name + (ds == 0 ? " DFG " : " CDFG ") +
+                           metric_name(static_cast<Metric>(m)),
+                       results[b][a][ds][m], "mape");
         }
       }
       table.add_row(std::move(row));
     }
   }
   std::cout << "\nMeasured (this substrate):\n" << table.to_string();
+  write_bench_json(cfg, json_log, "table4");
 
   TextTable ref({"model", "DFG DSP", "DFG LUT", "DFG FF", "DFG CP",
                  "CDFG DSP", "CDFG LUT", "CDFG FF", "CDFG CP"});

@@ -92,17 +92,26 @@ int run(int argc, const char* const* argv) {
       "HLS", "RGCN", "RGCN-I", "RGCN-R", "PNA", "PNA-I", "PNA-R"};
   TextTable table({"metric", "HLS", "RGCN", "RGCN-I", "RGCN-R", "PNA",
                    "PNA-I", "PNA-R"});
+  BenchJsonLog json_log;
   for (int m = 0; m < kNumMetrics; ++m) {
     std::vector<std::string> row{metric_name(static_cast<Metric>(m))};
     row.push_back(TextTable::pct(hls_mape[static_cast<std::size_t>(m)]));
+    const std::string metric = metric_name(static_cast<Metric>(m));
+    json_log.add("HLS " + metric, hls_mape[static_cast<std::size_t>(m)],
+                 "mape");
+    std::size_t col = 1;
     for (std::size_t b = 0; b < backbones.size(); ++b) {
       for (std::size_t a = 0; a < 3; ++a) {
         row.push_back(TextTable::pct(results[b][a][m]));
+        json_log.add(col_names[col] + " " + metric, results[b][a][m],
+                     "mape");
+        ++col;
       }
     }
     table.add_row(std::move(row));
   }
   std::cout << "\nMeasured (this substrate):\n" << table.to_string();
+  write_bench_json(cfg, json_log, "table5");
 
   TextTable ref({"metric", "HLS", "RGCN", "RGCN-I", "RGCN-R", "PNA", "PNA-I",
                  "PNA-R"});

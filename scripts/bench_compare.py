@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_*.json artifact against a checked-in baseline.
+
+Understands both artifact dialects the repo produces:
+
+  * google-benchmark JSON (bench_micro --json=...): one record per benchmark
+    under "benchmarks"; items_per_second is used when present (higher is
+    better), otherwise real_time (lower is better).
+  * the bench_common BenchJsonLog format ({"bench": ..., "entries":
+    [{name, value, unit}, ...]}): units ending in "/s" are higher-is-better,
+    time units (ns/us/ms/s) lower-is-better, anything else (e.g. "rho"
+    rank-quality scores) is compared as an absolute quantity.
+
+A regression is a shared entry that got worse by more than --threshold
+(default 0.15 = 15%). Entries present on only one side are reported but
+never fail the comparison (benches grow; baselines age).
+
+--normalize divides every *machine-speed-dependent* entry (times and rates)
+by the geometric mean of its direction group, computed over the entries
+shared by both files. That cancels the absolute speed difference between
+the machine that produced the baseline and the machine running the check,
+leaving only the *relative* shape of the bench suite — which is what a
+cross-machine CI gate can meaningfully enforce. Absolute units (scores like
+"rho") are never normalized. Needs >= 2 shared entries per direction group
+to be meaningful; with fewer, normalized comparison of that group is
+vacuous and the script says so.
+
+Exit status: 0 = no regression, 1 = at least one regression, 2 = usage or
+parse error.
+"""
+
+import argparse
+import json
+import math
+import re
+import sys
+
+TIME_UNITS = {"ns", "us", "ms", "s"}
+
+
+def load_entries(path):
+    """Returns {name: (value, direction, normalizable)} where direction is
+    +1 (higher is better) or -1 (lower is better)."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+
+    entries = {}
+    if isinstance(doc, dict) and "benchmarks" in doc:
+        # google-benchmark dialect.
+        for b in doc["benchmarks"]:
+            if b.get("run_type") == "aggregate":
+                continue
+            name = b["name"]
+            if "items_per_second" in b:
+                entries[name] = (float(b["items_per_second"]), +1, True)
+            elif "real_time" in b:
+                entries[name] = (float(b["real_time"]), -1, True)
+    elif isinstance(doc, dict) and "entries" in doc:
+        # BenchJsonLog dialect.
+        for e in doc["entries"]:
+            unit = e.get("unit", "")
+            if unit.endswith("/s"):
+                direction, normalizable = +1, True
+            elif unit in TIME_UNITS:
+                direction, normalizable = -1, True
+            else:
+                direction, normalizable = +1, False
+            entries[e["name"]] = (float(e["value"]), direction, normalizable)
+    else:
+        sys.exit(f"error: {path} is not a recognized bench JSON artifact")
+    if not entries:
+        sys.exit(f"error: {path} contains no comparable entries")
+    return entries
+
+
+def geomean(values):
+    vals = [v for v in values if v > 0.0]
+    if not vals:
+        return 1.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="checked-in BENCH_*.json")
+    ap.add_argument("fresh", help="freshly produced BENCH_*.json")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="worst tolerated relative regression "
+                         "(default 0.15 = 15%%)")
+    ap.add_argument("--normalize", action="store_true",
+                    help="self-normalize times/rates by their direction "
+                         "group's geometric mean over shared entries "
+                         "(cross-machine comparison)")
+    ap.add_argument("--filter", default=None, metavar="REGEX",
+                    help="compare only entries whose name matches REGEX. "
+                         "With --normalize across machines of different "
+                         "core counts, restrict to single-thread entries: "
+                         "multi-thread entries scale with cores, not just "
+                         "machine speed, and would skew the geomean")
+    args = ap.parse_args()
+
+    base = load_entries(args.baseline)
+    fresh = load_entries(args.fresh)
+    if args.filter:
+        try:
+            pat = re.compile(args.filter)
+        except re.error as e:
+            sys.exit(f"error: bad --filter regex: {e}")
+        base = {n: v for n, v in base.items() if pat.search(n)}
+        fresh = {n: v for n, v in fresh.items() if pat.search(n)}
+        if not base or not fresh:
+            sys.exit("error: --filter matched no entries in one of the "
+                     "artifacts")
+
+    shared = sorted(set(base) & set(fresh))
+    only_base = sorted(set(base) - set(fresh))
+    only_fresh = sorted(set(fresh) - set(base))
+    if not shared:
+        sys.exit("error: the two artifacts share no benchmark names")
+
+    scale = {+1: (1.0, 1.0), -1: (1.0, 1.0)}  # direction -> (base, fresh)
+    if args.normalize:
+        for direction in (+1, -1):
+            names = [n for n in shared
+                     if base[n][1] == direction and base[n][2]]
+            if len(names) < 2:
+                if names:
+                    print(f"note: only {len(names)} shared normalizable "
+                          f"entr{'y' if len(names) == 1 else 'ies'} in "
+                          f"direction {direction:+d}; normalized comparison "
+                          "of that group is vacuous")
+                continue
+            scale[direction] = (geomean(base[n][0] for n in names),
+                                geomean(fresh[n][0] for n in names))
+
+    regressions = []
+    width = max(len(n) for n in shared)
+    print(f"{'benchmark':<{width}}  {'baseline':>14}  {'fresh':>14}  "
+          f"{'delta':>8}")
+    for name in shared:
+        bval, direction, normalizable = base[name]
+        fval = fresh[name][0]
+        if args.normalize and normalizable:
+            sb, sf = scale[direction]
+            bcmp, fcmp = bval / sb, fval / sf
+        else:
+            bcmp, fcmp = bval, fval
+        if bcmp == 0.0:
+            delta = 0.0
+        else:
+            # Positive delta always means "better" regardless of direction.
+            delta = direction * (fcmp - bcmp) / abs(bcmp)
+        flag = ""
+        if delta < -args.threshold:
+            regressions.append((name, delta))
+            flag = "  << REGRESSION"
+        print(f"{name:<{width}}  {bval:>14.4g}  {fval:>14.4g}  "
+              f"{delta:>+7.1%}{flag}")
+
+    for name in only_base:
+        print(f"note: baseline-only entry (not compared): {name}")
+    for name in only_fresh:
+        print(f"note: new entry (no baseline yet): {name}")
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} regression(s) beyond "
+              f"{args.threshold:.0%}:")
+        for name, delta in regressions:
+            print(f"  {name}: {delta:+.1%}")
+        return 1
+    print(f"\nOK: no regression beyond {args.threshold:.0%} across "
+          f"{len(shared)} shared entries")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

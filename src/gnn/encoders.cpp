@@ -54,15 +54,19 @@ namespace {
 // has to respect gt.graph_id / gt.num_graphs. Per-node and per-edge ops
 // are batch-oblivious since union edges never cross member graphs.
 
-/// sum_{(u,v) in E} x_u  ->  per destination v.
+/// sum_{(u,v) in E} x_u  ->  per destination v. The cached gt partitions
+/// route the gather's backward and the scatter's forward through the
+/// deterministic parallel kernels without a per-call plan build.
 Var aggregate_sum(Tape& t, const GraphTensors& gt, const Var& x) {
   if (gt.src.empty()) return t.affine(x, 0.0F, 0.0F);
-  return t.scatter_add_rows(t.gather_rows(x, gt.src), gt.dst, gt.num_nodes);
+  return t.scatter_add_rows(t.gather_rows(x, gt.src, gt.src_part), gt.dst,
+                            gt.num_nodes, gt.dst_part);
 }
 
 Var aggregate_mean(Tape& t, const GraphTensors& gt, const Var& x) {
   if (gt.src.empty()) return t.affine(x, 0.0F, 0.0F);
-  return t.segment_mean(t.gather_rows(x, gt.src), gt.dst, gt.num_nodes);
+  return t.segment_mean(t.gather_rows(x, gt.src, gt.src_part), gt.dst,
+                        gt.num_nodes, gt.dst_part);
 }
 
 /// GCN propagation: D^-1/2 (A+I) D^-1/2 x with precomputed coefficients.
@@ -70,8 +74,9 @@ Var gcn_propagate(Tape& t, const GraphTensors& gt, const Var& x) {
   Var self = t.scale_rows(x, gt.gcn_self_coeff);
   if (gt.src.empty()) return self;
   const Var msgs =
-      t.scale_rows(t.gather_rows(x, gt.src), gt.gcn_coeff);
-  return t.add(t.scatter_add_rows(msgs, gt.dst, gt.num_nodes), self);
+      t.scale_rows(t.gather_rows(x, gt.src, gt.src_part), gt.gcn_coeff);
+  return t.add(
+      t.scatter_add_rows(msgs, gt.dst, gt.num_nodes, gt.dst_part), self);
 }
 
 // ----- GCN -----
@@ -104,14 +109,16 @@ class GcnEncoder : public GnnEncoder {
     Var virt = t.leaf(Matrix(gt.num_graphs, cfg_.hidden));
     for (std::size_t l = 0; l < convs_.size(); ++l) {
       if (with_virtual_) {
-        h = t.add(h, t.broadcast_rows_by_segment(virt, gt.graph_id));
+        h = t.add(h, t.broadcast_rows_by_segment(virt, gt.graph_id,
+                                                 gt.graph_part));
       }
       h = t.relu(convs_[l]->forward(t, gcn_propagate(t, gt, h)));
       h = t.dropout(h, cfg_.dropout, rng, training);
       if (with_virtual_) {
         virt = t.relu(virtual_mlps_[l]->forward(
             t, t.add(virt,
-                     t.segment_mean_rows(h, gt.graph_id, gt.num_graphs))));
+                     t.segment_mean_rows(h, gt.graph_id, gt.num_graphs,
+                                         gt.graph_part))));
       }
     }
     return h;
@@ -309,7 +316,8 @@ class GinEncoder : public GnnEncoder {
     Var virt = t.leaf(Matrix(gt.num_graphs, cfg_.hidden));
     for (std::size_t l = 0; l < mlps_.size(); ++l) {
       if (with_virtual_) {
-        h = t.add(h, t.broadcast_rows_by_segment(virt, gt.graph_id));
+        h = t.add(h, t.broadcast_rows_by_segment(virt, gt.graph_id,
+                                                 gt.graph_part));
       }
       // (1 + eps) * h + sum_{u in N(v)} h_u
       const Var one_eps =
@@ -321,7 +329,8 @@ class GinEncoder : public GnnEncoder {
       if (with_virtual_) {
         virt = t.relu(virtual_mlps_[l]->forward(
             t, t.add(virt,
-                     t.segment_mean_rows(h, gt.graph_id, gt.num_graphs))));
+                     t.segment_mean_rows(h, gt.graph_id, gt.num_graphs,
+                                         gt.graph_part))));
       }
     }
     return h;
@@ -377,13 +386,13 @@ class PnaEncoder : public GnnEncoder {
       if (gt.src.empty()) {
         mean = mx = mn = stddev = t.affine(h, 0.0F, 0.0F);
       } else {
-        const Var msgs = t.gather_rows(h, gt.src);
-        mean = t.segment_mean(msgs, gt.dst, gt.num_nodes);
+        const Var msgs = t.gather_rows(h, gt.src, gt.src_part);
+        mean = t.segment_mean(msgs, gt.dst, gt.num_nodes, gt.dst_part);
         mx = t.segment_max(msgs, gt.dst, gt.num_nodes);
         mn = t.segment_min(msgs, gt.dst, gt.num_nodes);
         // std = sqrt(relu(E[x^2] - E[x]^2))
-        const Var mean_sq =
-            t.segment_mean(t.mul(msgs, msgs), gt.dst, gt.num_nodes);
+        const Var mean_sq = t.segment_mean(t.mul(msgs, msgs), gt.dst,
+                                           gt.num_nodes, gt.dst_part);
         stddev = t.sqrt_eps(t.sub(mean_sq, t.mul(mean, mean)), 1e-5F);
       }
       std::vector<Var> blocks{h};
@@ -434,13 +443,14 @@ class GatEncoder : public GnnEncoder {
       const Var alpha_src = att_src_[l]->forward(t, hw);  // [N,1]
       const Var alpha_dst = att_dst_[l]->forward(t, hw);  // [N,1]
       const Var scores = t.leaky_relu(
-          t.add(t.gather_rows(alpha_src, gt.src_self),
-                t.gather_rows(alpha_dst, gt.dst_self)),
+          t.add(t.gather_rows(alpha_src, gt.src_self, gt.src_self_part),
+                t.gather_rows(alpha_dst, gt.dst_self, gt.dst_self_part)),
           0.2F);
       const Var alpha = t.segment_softmax(scores, gt.dst_self, gt.num_nodes);
-      const Var weighted =
-          t.mul_col_broadcast(t.gather_rows(hw, gt.src_self), alpha);
-      h = t.relu(t.scatter_add_rows(weighted, gt.dst_self, gt.num_nodes));
+      const Var weighted = t.mul_col_broadcast(
+          t.gather_rows(hw, gt.src_self, gt.src_self_part), alpha);
+      h = t.relu(t.scatter_add_rows(weighted, gt.dst_self, gt.num_nodes,
+                                    gt.dst_self_part));
       h = t.dropout(h, cfg_.dropout, rng, training);
     }
     return h;

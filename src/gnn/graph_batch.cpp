@@ -86,6 +86,11 @@ GraphBatch GraphBatch::build(const std::vector<const GraphTensors*>& parts) {
       m.num_nodes > 0
           ? std::max(sum / static_cast<float>(m.num_nodes), 0.1F)
           : 1.0F;
+  // Union-wide segment-kernel partitions (members' cached partitions index
+  // member-local rows, so they cannot be spliced — the merged arrays get
+  // their own plans, amortized across every layer/epoch that reuses this
+  // batch).
+  m.build_partitions();
   return batch;
 }
 

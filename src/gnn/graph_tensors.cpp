@@ -57,7 +57,16 @@ GraphTensors GraphTensors::build(const IrGraph& graph) {
   gt.num_graphs = 1;
   gt.graph_id.assign(static_cast<std::size_t>(gt.num_nodes), 0);
   gt.graph_avg_log_deg = {gt.avg_log_deg};
+  gt.build_partitions();
   return gt;
+}
+
+void GraphTensors::build_partitions() {
+  src_part = make_segment_partition(src, num_nodes);
+  dst_part = make_segment_partition(dst, num_nodes);
+  src_self_part = make_segment_partition(src_self, num_nodes);
+  dst_self_part = make_segment_partition(dst_self, num_nodes);
+  graph_part = make_segment_partition(graph_id, num_graphs);
 }
 
 }  // namespace gnnhls

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "graph/ir_graph.h"
+#include "tensor/segment_ops.h"
 
 namespace gnnhls {
 
@@ -43,6 +44,24 @@ struct GraphTensors {
   int num_graphs = 1;
   std::vector<int> graph_id;               // per node, size num_nodes
   std::vector<float> graph_avg_log_deg;    // per member graph, size num_graphs
+
+  // Cached destination partitions for the parallel segment kernels
+  // (tensor/segment_ops.h): stable groupings of the edge arrays by endpoint
+  // and of nodes by member graph, built once per graph/batch and reused by
+  // every encoder layer, epoch and serving forward. Shared const state —
+  // safe to read from concurrent tapes. Null on hand-assembled tensors
+  // (the autograd ops then fall back to build-on-demand; results are
+  // bit-identical either way).
+  SegmentPartitionPtr src_part;       // edges by src        (over num_nodes)
+  SegmentPartitionPtr dst_part;       // edges by dst        (over num_nodes)
+  SegmentPartitionPtr src_self_part;  // self-loop-augmented edges by src
+  SegmentPartitionPtr dst_self_part;  // self-loop-augmented edges by dst
+  SegmentPartitionPtr graph_part;     // nodes by graph_id   (over num_graphs)
+
+  /// Fills the cached partitions from the current edge/graph_id arrays.
+  /// Called by build() and GraphBatch::build(); call it yourself after
+  /// assembling a GraphTensors by hand if you want the cached plans.
+  void build_partitions();
 
   static GraphTensors build(const IrGraph& graph);
 };

@@ -26,8 +26,10 @@ Var GraphRegressor::forward(Tape& tape, const GraphTensors& gt,
   // Per-graph readout over the batch segments; [num_graphs, hidden].
   const Var pooled =
       cfg_.pooling == Pooling::kSum
-          ? tape.segment_sum_rows(h, gt.graph_id, gt.num_graphs)
-          : tape.segment_mean_rows(h, gt.graph_id, gt.num_graphs);
+          ? tape.segment_sum_rows(h, gt.graph_id, gt.num_graphs,
+                                  gt.graph_part)
+          : tape.segment_mean_rows(h, gt.graph_id, gt.num_graphs,
+                                   gt.graph_part);
   return head_->forward(tape, pooled);
 }
 

@@ -154,6 +154,33 @@ ThreadPool& ThreadPool::global() {
   return *slot;
 }
 
+std::vector<int> balanced_boundaries(const std::vector<int>& cum,
+                                     int max_ranges, int min_cost) {
+  GNNHLS_CHECK(!cum.empty() && cum.front() == 0,
+               "balanced_boundaries: cum must start at 0");
+  const int n = static_cast<int>(cum.size()) - 1;
+  const long total = cum[static_cast<std::size_t>(n)];
+  min_cost = std::max(min_cost, 1);
+  max_ranges = std::max(max_ranges, 1);
+  const int ranges = static_cast<int>(std::min<long>(
+      max_ranges, std::max<long>(1, total / min_cost)));
+  std::vector<int> bounds;
+  bounds.reserve(static_cast<std::size_t>(ranges) + 1);
+  bounds.push_back(0);
+  for (int r = 1; r < ranges; ++r) {
+    const long target = total * r / ranges;
+    // First index whose cumulative cost exceeds the target; ranges stay
+    // non-empty because cum is non-decreasing and targets are increasing.
+    const auto it = std::upper_bound(cum.begin(), cum.end(),
+                                     static_cast<int>(target));
+    int b = static_cast<int>(it - cum.begin()) - 1;
+    b = std::min(std::max(b, bounds.back() + 1), n);
+    if (b > bounds.back()) bounds.push_back(b);
+  }
+  if (bounds.back() != n) bounds.push_back(n);
+  return bounds;
+}
+
 void ThreadPool::set_global_threads(int threads) {
   std::lock_guard<std::mutex> lock(global_pool_mu());
   // Unpublish first so no new caller grabs the pool being torn down; the

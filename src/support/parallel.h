@@ -97,4 +97,32 @@ inline void parallel_shards(int count, Body&& body) {
   });
 }
 
+/// Splits [0, n) into contiguous ranges of roughly equal cumulative cost,
+/// where cum[i] is the total cost of indices [0, i) (cum has size n+1,
+/// cum[0] == 0, non-decreasing). Returns range boundaries b_0=0 < b_1 < ...
+/// < b_k=n such that every range carries at least min_cost (except possibly
+/// the last) and k is at most max_ranges. The boundaries depend only on the
+/// cost profile and the requested fan-out — never on scheduling — so a
+/// kernel that gives each range to one task and accumulates within the
+/// range in index order is deterministic at any pool width.
+///
+/// This is the load balancer for destination-partitioned segment kernels:
+/// equal-*row* chunks starve under power-law in-degree (one hub node can
+/// own most of the edges), equal-*cost* chunks do not.
+std::vector<int> balanced_boundaries(const std::vector<int>& cum,
+                                     int max_ranges, int min_cost);
+
+/// Runs body(lo, hi) for every consecutive boundary pair of `bounds` (as
+/// produced by balanced_boundaries) on the global pool, one range per task.
+/// Ranges are disjoint and contiguous, so a body that owns all writes for
+/// its range needs no synchronization.
+template <typename Body>
+inline void parallel_over_ranges(const std::vector<int>& bounds, Body&& body) {
+  const int ranges = static_cast<int>(bounds.size()) - 1;
+  parallel_shards(ranges, [&bounds, &body](int r) {
+    body(bounds[static_cast<std::size_t>(r)],
+         bounds[static_cast<std::size_t>(r) + 1]);
+  });
+}
+
 }  // namespace gnnhls

@@ -330,55 +330,57 @@ Var Tape::sqrt_eps(const Var& a, float eps) {
 // Structure ops
 // ---------------------------------------------------------------------------
 
-Var Tape::gather_rows(const Var& a, const std::vector<int>& idx) {
-  Matrix out(static_cast<int>(idx.size()), a.cols());
-  for (std::size_t i = 0; i < idx.size(); ++i) {
-    GNNHLS_CHECK(idx[i] >= 0 && idx[i] < a.rows(), "gather_rows: bad index");
-    std::copy(a.value().row_ptr(idx[i]), a.value().row_ptr(idx[i]) + a.cols(),
-              out.row_ptr(static_cast<int>(i)));
+Var Tape::gather_rows(const Var& a, const std::vector<int>& idx,
+                      SegmentPartitionPtr part) {
+  if (part != nullptr) {
+    GNNHLS_CHECK_EQ(part->segments, a.rows(),
+                    "gather_rows: partition segments must match input rows");
   }
-  return record(std::move(out), {a}, [a, idx](VarNode& n) {
+  Matrix out(static_cast<int>(idx.size()), a.cols());
+  gather_rows_into(a.value(), idx, out);
+  return record(std::move(out), {a}, [a, idx, part](VarNode& n) {
     if (!a.requires_grad()) return;
-    Matrix& gmat = sink_of(a);
-    for (std::size_t i = 0; i < idx.size(); ++i) {
-      const float* g = n.grad.row_ptr(static_cast<int>(i));
-      float* ga = gmat.row_ptr(idx[i]);
-      for (int j = 0; j < n.grad.cols(); ++j) ga[j] += g[j];
-    }
+    // Backward of a gather is a scatter-add: grads from every output row
+    // that read source row r accumulate into ga[r], in ascending output-row
+    // order (the fixed-order partition reduction rule).
+    scatter_add_rows_auto(n.grad, idx, part, sink_of(a));
   });
 }
 
 Var Tape::scatter_add_rows(const Var& a, const std::vector<int>& idx,
-                           int out_rows) {
+                           int out_rows, SegmentPartitionPtr part) {
   GNNHLS_CHECK_EQ(static_cast<int>(idx.size()), a.rows(),
                   "scatter_add_rows: one index per row required");
-  Matrix out(out_rows, a.cols());
-  for (std::size_t i = 0; i < idx.size(); ++i) {
-    GNNHLS_CHECK(idx[i] >= 0 && idx[i] < out_rows,
-                 "scatter_add_rows: bad index");
-    const float* src = a.value().row_ptr(static_cast<int>(i));
-    float* dst = out.row_ptr(idx[i]);
-    for (int j = 0; j < a.cols(); ++j) dst[j] += src[j];
+  if (part != nullptr) {
+    GNNHLS_CHECK_EQ(part->segments, out_rows,
+                    "scatter_add_rows: partition segments must match output");
   }
+  Matrix out(out_rows, a.cols());
+  scatter_add_rows_auto(a.value(), idx, part, out);
   return record(std::move(out), {a}, [a, idx](VarNode& n) {
     if (!a.requires_grad()) return;
-    Matrix& gmat = sink_of(a);
-    for (std::size_t i = 0; i < idx.size(); ++i) {
-      const float* g = n.grad.row_ptr(idx[i]);
-      float* ga = gmat.row_ptr(static_cast<int>(i));
-      for (int j = 0; j < n.grad.cols(); ++j) ga[j] += g[j];
-    }
+    // Backward of a scatter-add is a gather-add: row-parallel, each input
+    // row reads exactly one upstream row.
+    gather_add_rows_into(n.grad, idx, sink_of(a));
   });
 }
 
 Var Tape::segment_mean(const Var& a, const std::vector<int>& idx,
-                       int segments) {
-  Var summed = scatter_add_rows(a, idx, segments);
-  std::vector<int> count(static_cast<std::size_t>(segments), 0);
-  for (int i : idx) count[static_cast<std::size_t>(i)]++;
-  std::vector<float> inv(count.size());
-  for (std::size_t s = 0; s < count.size(); ++s) {
-    inv[s] = count[s] > 0 ? 1.0F / static_cast<float>(count[s]) : 0.0F;
+                       int segments, SegmentPartitionPtr part) {
+  Var summed = scatter_add_rows(a, idx, segments, part);
+  std::vector<float> inv(static_cast<std::size_t>(segments));
+  if (part != nullptr) {
+    for (int s = 0; s < segments; ++s) {
+      const int c = part->count(s);
+      inv[static_cast<std::size_t>(s)] =
+          c > 0 ? 1.0F / static_cast<float>(c) : 0.0F;
+    }
+  } else {
+    std::vector<int> count(static_cast<std::size_t>(segments), 0);
+    for (int i : idx) count[static_cast<std::size_t>(i)]++;
+    for (std::size_t s = 0; s < count.size(); ++s) {
+      inv[s] = count[s] > 0 ? 1.0F / static_cast<float>(count[s]) : 0.0F;
+    }
   }
   return scale_rows(summed, inv);
 }
@@ -447,23 +449,24 @@ Var Tape::segment_min(const Var& a, const std::vector<int>& idx,
 }
 
 Var Tape::segment_sum_rows(const Var& a, const std::vector<int>& seg,
-                           int segments) {
+                           int segments, SegmentPartitionPtr part) {
   GNNHLS_CHECK_EQ(static_cast<int>(seg.size()), a.rows(),
                   "segment_sum_rows: one segment id per row required");
-  return scatter_add_rows(a, seg, segments);
+  return scatter_add_rows(a, seg, segments, std::move(part));
 }
 
 Var Tape::segment_mean_rows(const Var& a, const std::vector<int>& seg,
-                            int segments) {
+                            int segments, SegmentPartitionPtr part) {
   GNNHLS_CHECK_EQ(static_cast<int>(seg.size()), a.rows(),
                   "segment_mean_rows: one segment id per row required");
-  return segment_mean(a, seg, segments);
+  return segment_mean(a, seg, segments, std::move(part));
 }
 
 Var Tape::broadcast_rows_by_segment(const Var& a,
-                                    const std::vector<int>& seg) {
+                                    const std::vector<int>& seg,
+                                    SegmentPartitionPtr part) {
   // gather_rows bounds-checks every segment id itself.
-  return gather_rows(a, seg);
+  return gather_rows(a, seg, std::move(part));
 }
 
 Var Tape::segment_softmax(const Var& a, const std::vector<int>& idx,

@@ -19,6 +19,7 @@
 
 #include "support/rng.h"
 #include "tensor/matrix.h"
+#include "tensor/segment_ops.h"
 
 namespace gnnhls {
 
@@ -105,9 +106,24 @@ class Tape {
   Var sqrt_eps(const Var& a, float eps);
 
   // ----- structure ops -----
-  Var gather_rows(const Var& a, const std::vector<int>& idx);
-  Var scatter_add_rows(const Var& a, const std::vector<int>& idx, int out_rows);
-  Var segment_mean(const Var& a, const std::vector<int>& idx, int segments);
+  // The gather/scatter family runs on the deterministic parallel kernels in
+  // tensor/segment_ops.h (fixed-order partition reduction: bit-identical to
+  // the serial loops at any thread-pool width). The optional `part` is a
+  // precomputed destination partition of `idx`/`seg` — pass the one cached
+  // on GraphTensors (src_part/dst_part/...) to skip the per-call O(rows)
+  // plan build; null means build-on-demand for large inputs, serial loop
+  // for small ones. The partition never changes results, only scheduling.
+
+  /// out[i,:] = a[idx[i],:]. `part` groups idx by source row (over a.rows());
+  /// the backward scatter-accumulates through it.
+  Var gather_rows(const Var& a, const std::vector<int>& idx,
+                  SegmentPartitionPtr part = nullptr);
+  /// out[idx[i],:] += a[i,:]. `part` groups idx by destination (over
+  /// out_rows); the forward accumulates through it.
+  Var scatter_add_rows(const Var& a, const std::vector<int>& idx, int out_rows,
+                       SegmentPartitionPtr part = nullptr);
+  Var segment_mean(const Var& a, const std::vector<int>& idx, int segments,
+                   SegmentPartitionPtr part = nullptr);
   Var segment_max(const Var& a, const std::vector<int>& idx, int segments);
   Var segment_min(const Var& a, const std::vector<int>& idx, int segments);
   /// Softmax over the entries of each segment; a must be [k,1].
@@ -121,13 +137,15 @@ class Tape {
 
   /// out[s,:] = sum_{i: seg[i]==s} a[i,:]  ([n,m] -> [segments,m]).
   Var segment_sum_rows(const Var& a, const std::vector<int>& seg,
-                       int segments);
+                       int segments, SegmentPartitionPtr part = nullptr);
   /// out[s,:] = mean_{i: seg[i]==s} a[i,:]; empty segments yield zeros.
   Var segment_mean_rows(const Var& a, const std::vector<int>& seg,
-                        int segments);
+                        int segments, SegmentPartitionPtr part = nullptr);
   /// Inverse broadcast: out[i,:] = a[seg[i],:] for a [segments,m] input
-  /// (virtual-node encoders); backward sums each segment's rows.
-  Var broadcast_rows_by_segment(const Var& a, const std::vector<int>& seg);
+  /// (virtual-node encoders); backward sums each segment's rows (through
+  /// `part`, a destination partition of seg over a.rows(), when given).
+  Var broadcast_rows_by_segment(const Var& a, const std::vector<int>& seg,
+                                SegmentPartitionPtr part = nullptr);
 
   // ----- shape ops -----
   Var concat_cols(const std::vector<Var>& parts);

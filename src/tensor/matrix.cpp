@@ -8,6 +8,10 @@
 #include <malloc.h>
 #endif
 
+#if defined(GNNHLS_SIMD) && defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
 #include "support/parallel.h"
 
 namespace gnnhls {
@@ -97,28 +101,94 @@ bool probe_mostly_zero(const Matrix& a) {
 
 }  // namespace
 
+namespace {
+
+/// Rows per register tile in the dense matmul: each b-row load feeds this
+/// many output rows, cutting b-side memory traffic by the tile height.
+constexpr int kMatmulRowTile = 4;
+/// k-block size: bounds the b slab streamed per pass so it stays
+/// cache-resident while the i-tile's partial sums live in the out rows.
+constexpr int kMatmulKTile = 64;
+
+#if defined(GNNHLS_SIMD) && defined(__AVX2__)
+/// Explicit-SIMD inner update: orow[j..) += aik * brow[j..) for one k.
+/// Unfused multiply+add (no FMA) so each element performs exactly the same
+/// rounding steps as the scalar loop — bit-identity is the contract, which
+/// is also why the build enforces -ffp-contract=off alongside this kernel.
+inline void axpy_row(float aik, const float* brow, float* orow, int n) {
+  const __m256 va = _mm256_set1_ps(aik);
+  int j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m256 vb = _mm256_loadu_ps(brow + j);
+    const __m256 vo = _mm256_loadu_ps(orow + j);
+    _mm256_storeu_ps(orow + j, _mm256_add_ps(vo, _mm256_mul_ps(va, vb)));
+  }
+  for (; j < n; ++j) orow[j] += aik * brow[j];
+}
+#else
+inline void axpy_row(float aik, const float* brow, float* orow, int n) {
+  for (int j = 0; j < n; ++j) orow[j] += aik * brow[j];
+}
+#endif
+
+/// Dense k-j register-blocked micro-kernel for output rows [i_lo, i_hi).
+/// Loop order is kblock -> row-tile -> k -> j: every output element j of
+/// every row still receives its k contributions in ascending-k order
+/// (identical to the naive i-k-j loop), so blocking never changes results —
+/// it only lets one streamed b-row update kMatmulRowTile output rows and
+/// keeps the active b slab hot across the tile.
+void matmul_dense_rows(const Matrix& a, const Matrix& b, Matrix& out,
+                       int i_lo, int i_hi) {
+  const int K = a.cols();
+  const int N = b.cols();
+  for (int k0 = 0; k0 < K; k0 += kMatmulKTile) {
+    const int k1 = std::min(k0 + kMatmulKTile, K);
+    int i = i_lo;
+    for (; i + kMatmulRowTile <= i_hi; i += kMatmulRowTile) {
+      const float* a0 = a.row_ptr(i);
+      const float* a1 = a.row_ptr(i + 1);
+      const float* a2 = a.row_ptr(i + 2);
+      const float* a3 = a.row_ptr(i + 3);
+      float* o0 = out.row_ptr(i);
+      float* o1 = out.row_ptr(i + 1);
+      float* o2 = out.row_ptr(i + 2);
+      float* o3 = out.row_ptr(i + 3);
+      for (int k = k0; k < k1; ++k) {
+        const float* brow = b.row_ptr(k);
+        axpy_row(a0[k], brow, o0, N);
+        axpy_row(a1[k], brow, o1, N);
+        axpy_row(a2[k], brow, o2, N);
+        axpy_row(a3[k], brow, o3, N);
+      }
+    }
+    for (; i < i_hi; ++i) {  // tail rows of the tile
+      const float* arow = a.row_ptr(i);
+      float* orow = out.row_ptr(i);
+      for (int k = k0; k < k1; ++k) axpy_row(arow[k], b.row_ptr(k), orow, N);
+    }
+  }
+}
+
+}  // namespace
+
 Matrix matmul(const Matrix& a, const Matrix& b) {
   GNNHLS_CHECK_EQ(a.cols(), b.rows(), "matmul: inner dimension mismatch");
   Matrix out(a.rows(), b.cols());
   const bool sparse = probe_mostly_zero(a);
   parallel_for(0, a.rows(), row_grain(a.cols(), b.cols()),
                [&](int i_lo, int i_hi) {
+    if (!sparse) {
+      matmul_dense_rows(a, b, out, i_lo, i_hi);
+      return;
+    }
     for (int i = i_lo; i < i_hi; ++i) {
       const float* arow = a.row_ptr(i);
       float* orow = out.row_ptr(i);
-      if (sparse) {
-        for (int k = 0; k < a.cols(); ++k) {
-          const float aik = arow[k];
-          if (aik == 0.0F) continue;
-          const float* brow = b.row_ptr(k);
-          for (int j = 0; j < b.cols(); ++j) orow[j] += aik * brow[j];
-        }
-      } else {
-        for (int k = 0; k < a.cols(); ++k) {
-          const float aik = arow[k];
-          const float* brow = b.row_ptr(k);
-          for (int j = 0; j < b.cols(); ++j) orow[j] += aik * brow[j];
-        }
+      for (int k = 0; k < a.cols(); ++k) {
+        const float aik = arow[k];
+        if (aik == 0.0F) continue;
+        const float* brow = b.row_ptr(k);
+        for (int j = 0; j < b.cols(); ++j) orow[j] += aik * brow[j];
       }
     }
   });
@@ -151,19 +221,79 @@ Matrix matmul_transpose_a(const Matrix& a, const Matrix& b) {
 Matrix matmul_transpose_b(const Matrix& a, const Matrix& b) {
   GNNHLS_CHECK_EQ(a.cols(), b.cols(), "matmul_transpose_b: dimension mismatch");
   Matrix out(a.rows(), b.rows());
+  const int K = a.cols();
+  const int bm = b.rows();
   parallel_for(0, a.rows(), row_grain(a.cols(), b.rows()),
                [&](int i_lo, int i_hi) {
     for (int i = i_lo; i < i_hi; ++i) {
       const float* arow = a.row_ptr(i);
       float* orow = out.row_ptr(i);
-      for (int j = 0; j < b.rows(); ++j) {
+      // Column tile of four independent dot-product chains: one streamed
+      // arow feeds four accumulators, replacing a single latency-bound add
+      // chain with 4-way ILP. Each chain still sums in ascending k with one
+      // scalar accumulator — splitting a chain (vectorizing over k) would
+      // reassociate the sum and break bit-identity, so the k loop stays
+      // scalar by design.
+      int j = 0;
+      for (; j + 4 <= bm; j += 4) {
+        const float* b0 = b.row_ptr(j);
+        const float* b1 = b.row_ptr(j + 1);
+        const float* b2 = b.row_ptr(j + 2);
+        const float* b3 = b.row_ptr(j + 3);
+        float acc0 = 0.0F, acc1 = 0.0F, acc2 = 0.0F, acc3 = 0.0F;
+        for (int k = 0; k < K; ++k) {
+          const float av = arow[k];
+          acc0 += av * b0[k];
+          acc1 += av * b1[k];
+          acc2 += av * b2[k];
+          acc3 += av * b3[k];
+        }
+        orow[j] += acc0;
+        orow[j + 1] += acc1;
+        orow[j + 2] += acc2;
+        orow[j + 3] += acc3;
+      }
+      for (; j < bm; ++j) {
         const float* brow = b.row_ptr(j);
         float acc = 0.0F;
-        for (int k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
+        for (int k = 0; k < K; ++k) acc += arow[k] * brow[k];
         orow[j] += acc;
       }
     }
   });
+  return out;
+}
+
+Matrix matmul_reference(const Matrix& a, const Matrix& b) {
+  GNNHLS_CHECK_EQ(a.cols(), b.rows(),
+                  "matmul_reference: inner dimension mismatch");
+  Matrix out(a.rows(), b.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    const float* arow = a.row_ptr(i);
+    float* orow = out.row_ptr(i);
+    for (int k = 0; k < a.cols(); ++k) {
+      const float aik = arow[k];
+      const float* brow = b.row_ptr(k);
+      for (int j = 0; j < b.cols(); ++j) orow[j] += aik * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix matmul_transpose_b_reference(const Matrix& a, const Matrix& b) {
+  GNNHLS_CHECK_EQ(a.cols(), b.cols(),
+                  "matmul_transpose_b_reference: dimension mismatch");
+  Matrix out(a.rows(), b.rows());
+  for (int i = 0; i < a.rows(); ++i) {
+    const float* arow = a.row_ptr(i);
+    float* orow = out.row_ptr(i);
+    for (int j = 0; j < b.rows(); ++j) {
+      const float* brow = b.row_ptr(j);
+      float acc = 0.0F;
+      for (int k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
+      orow[j] += acc;
+    }
+  }
   return out;
 }
 

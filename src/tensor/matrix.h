@@ -86,11 +86,26 @@ class Matrix {
 /// through Adam/GraphRegressor.
 void tune_malloc_for_tensor_workloads();
 
-/// out = a * b. Naive but cache-friendly (i-k-j order).
+/// out = a * b. Dense path is k-j register-blocked (multi-row tiles share
+/// each b-row load) and row-parallel on the global pool; per-element
+/// accumulation stays in ascending-k order, so results are bit-identical to
+/// matmul_reference at any thread count and any tile shape. Sparse operands
+/// (detected by sampling) take a zero-skipping scalar path instead.
+/// Compile with -DGNNHLS_SIMD=ON for an explicit AVX2 inner kernel on the
+/// dense path (same per-element operation order, still bit-identical).
 Matrix matmul(const Matrix& a, const Matrix& b);
 /// out = a^T * b (avoids materializing the transpose).
 Matrix matmul_transpose_a(const Matrix& a, const Matrix& b);
-/// out = a * b^T.
+/// out = a * b^T. Register-blocked over output columns: up to four
+/// independent dot-product chains share each a-row load (ILP instead of one
+/// latency-bound chain); every chain sums in ascending k, bit-identical to
+/// matmul_transpose_b_reference.
 Matrix matmul_transpose_b(const Matrix& a, const Matrix& b);
+
+/// Serial, unblocked reference kernels (the historical loops). Tests and
+/// bench_micro hard-assert the blocked/parallel kernels against these —
+/// they are the ground truth of the bit-identity contract, not a fast path.
+Matrix matmul_reference(const Matrix& a, const Matrix& b);
+Matrix matmul_transpose_b_reference(const Matrix& a, const Matrix& b);
 
 }  // namespace gnnhls

@@ -429,6 +429,186 @@ TEST(BatchedTrainingTest, BatchSizeAboveOneLearns) {
   EXPECT_LT(predictor.evaluate_mape(samples, split.test), 0.8);
 }
 
+// ----- deterministic parallel kernels (fixed-order partition reduction) ----
+// The segment kernels and the blocked matmul must be bit-identical to the
+// serial reference at every thread-pool width, including on adversarially
+// skewed inputs: power-law in-degree (one hub destination owns most edges,
+// stressing the edge-count-balanced range splitter), empty segments, and
+// degenerate single-node graphs.
+
+/// Restores the default global pool when a test resizes it.
+struct KernelPoolGuard {
+  explicit KernelPoolGuard(int threads) {
+    ThreadPool::set_global_threads(threads);
+  }
+  ~KernelPoolGuard() { ThreadPool::set_global_threads(0); }
+};
+
+constexpr int kKernelThreadCounts[] = {1, 2, 4, 8};
+
+struct SegmentLayout {
+  const char* name;
+  int segments;
+  std::vector<int> seg;
+};
+
+std::vector<SegmentLayout> adversarial_layouts() {
+  std::vector<SegmentLayout> layouts;
+  {
+    // Power-law: destination 0 is a hub with ~80% of all rows; the rest
+    // spread thinly. Equal-row chunking would serialize on the hub's range.
+    SegmentLayout l{"power-law hub", 64, {}};
+    Rng rng(11);
+    for (int i = 0; i < 4096; ++i) {
+      l.seg.push_back(rng.bernoulli(0.8) ? 0 : rng.uniform_int(1, 63));
+    }
+    layouts.push_back(std::move(l));
+  }
+  {
+    // Every third segment empty, rows hitting only the others.
+    SegmentLayout l{"empty segments", 48, {}};
+    for (int i = 0; i < 1500; ++i) {
+      const int s = (i * 7) % 48;
+      l.seg.push_back(s % 3 == 0 ? s + 1 : s);
+    }
+    layouts.push_back(std::move(l));
+  }
+  // Single-node graph: one row, one segment.
+  layouts.push_back(SegmentLayout{"single node", 1, {0}});
+  // Single destination for many rows (complete star).
+  layouts.push_back(SegmentLayout{"single segment", 1,
+                                  std::vector<int>(777, 0)});
+  return layouts;
+}
+
+TEST(DeterministicKernelsTest, ScatterAddBitIdenticalAcrossThreadCounts) {
+  for (const SegmentLayout& l : adversarial_layouts()) {
+    Rng rng(23);
+    const Matrix src =
+        Matrix::randn(static_cast<int>(l.seg.size()), 48, rng);
+    Matrix ref = Matrix::zeros(l.segments, 48);
+    scatter_add_rows_serial(src, l.seg, ref);
+    const SegmentPartitionPtr part = make_segment_partition(l.seg, l.segments);
+    for (int threads : kKernelThreadCounts) {
+      KernelPoolGuard pool(threads);
+      Matrix out = Matrix::zeros(l.segments, 48);
+      scatter_add_rows_into(src, *part, out);
+      EXPECT_TRUE(out == ref) << l.name << " @ " << threads << " threads";
+      Matrix out_auto = Matrix::zeros(l.segments, 48);
+      scatter_add_rows_auto(src, l.seg, nullptr, out_auto);
+      EXPECT_TRUE(out_auto == ref)
+          << l.name << " (on-demand partition) @ " << threads << " threads";
+    }
+  }
+}
+
+TEST(DeterministicKernelsTest, SegmentOpGradsBitIdenticalAcrossThreadCounts) {
+  for (const SegmentLayout& l : adversarial_layouts()) {
+    Rng rng(29);
+    const Matrix input =
+        Matrix::randn(static_cast<int>(l.seg.size()), 24, rng);
+    const SegmentPartitionPtr part = make_segment_partition(l.seg, l.segments);
+    // Forward + backward through scatter, gather and mean at each width;
+    // threads=1 is the serial baseline the others must match bitwise.
+    Matrix base_value, base_grad;
+    for (int threads : kKernelThreadCounts) {
+      KernelPoolGuard pool(threads);
+      Var leaf = make_leaf(input, /*requires_grad=*/true);
+      Tape tape;
+      const Var summed = tape.scatter_add_rows(leaf, l.seg, l.segments, part);
+      const Var spread = tape.gather_rows(summed, l.seg, part);
+      const Var mean = tape.segment_mean(spread, l.seg, l.segments, part);
+      const Var loss = tape.sum_all(tape.mul(mean, mean));
+      tape.backward(loss);
+      if (threads == 1) {
+        base_value = mean.value();
+        base_grad = leaf.grad();
+      } else {
+        EXPECT_TRUE(mean.value() == base_value)
+            << l.name << " forward @ " << threads << " threads";
+        EXPECT_TRUE(leaf.grad() == base_grad)
+            << l.name << " grad @ " << threads << " threads";
+      }
+    }
+  }
+}
+
+TEST(DeterministicKernelsTest, CachedPartitionMatchesOnDemand) {
+  // The cached-partition fast path and the partitionless path must agree
+  // bitwise — the partition only changes scheduling, never results.
+  const SegmentLayout l = adversarial_layouts().front();
+  Rng rng(31);
+  const Matrix input = Matrix::randn(static_cast<int>(l.seg.size()), 16, rng);
+  KernelPoolGuard pool(4);
+  const SegmentPartitionPtr part = make_segment_partition(l.seg, l.segments);
+  Var leaf_a = make_leaf(input, true);
+  Tape ta;
+  ta.backward(ta.sum_all(ta.scatter_add_rows(leaf_a, l.seg, l.segments,
+                                             part)));
+  Var leaf_b = make_leaf(input, true);
+  Tape tb;
+  tb.backward(tb.sum_all(tb.scatter_add_rows(leaf_b, l.seg, l.segments)));
+  EXPECT_TRUE(leaf_a.grad() == leaf_b.grad());
+}
+
+TEST(DeterministicKernelsTest, BlockedMatmulMatchesReference) {
+  Rng rng(37);
+  // Shapes around the hot [N,hidden]x[hidden,hidden] profile, plus odd
+  // sizes that exercise the row-tile and column-tile tail paths.
+  const int shapes[][3] = {
+      {256, 64, 64}, {301, 96, 96}, {5, 3, 2}, {63, 300, 300}, {1, 1, 1}};
+  for (const auto& s : shapes) {
+    const Matrix a = Matrix::randn(s[0], s[1], rng);
+    const Matrix b = Matrix::randn(s[1], s[2], rng);
+    const Matrix bt = Matrix::randn(s[2], s[1], rng);
+    const Matrix ref = matmul_reference(a, b);
+    const Matrix ref_tb = matmul_transpose_b_reference(a, bt);
+    for (int threads : kKernelThreadCounts) {
+      KernelPoolGuard pool(threads);
+      EXPECT_TRUE(matmul(a, b) == ref)
+          << s[0] << "x" << s[1] << "x" << s[2] << " @ " << threads;
+      EXPECT_TRUE(matmul_transpose_b(a, bt) == ref_tb)
+          << s[0] << "x" << s[1] << "x" << s[2] << " @ " << threads
+          << " (transpose_b)";
+    }
+  }
+}
+
+TEST(DeterministicKernelsTest, EncoderForwardBitIdenticalAcrossThreadCounts) {
+  // End-to-end: a full batched GCN forward (gathers, scatters, virtual-node
+  // segment means, readout) must not depend on the pool width.
+  const auto samples = batch_samples();
+  std::vector<const GraphTensors*> parts;
+  std::vector<const Matrix*> fparts;
+  std::vector<Matrix> feats;
+  for (const auto& s : samples) {
+    feats.push_back(
+        InputFeatureBuilder::build(s.graph(), Approach::kOffTheShelf));
+  }
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    parts.push_back(&samples[i].tensors);
+    fparts.push_back(&feats[i]);
+  }
+  const GraphBatch batch = GraphBatch::build(parts);
+  const Matrix stacked = GraphBatch::stack_features(fparts);
+  Rng mrng(41);
+  ModelConfig mc;
+  mc.kind = GnnKind::kGcnVirtual;
+  mc.hidden = 32;
+  mc.layers = 2;
+  const GraphRegressor model(mc, stacked.cols(), mrng);
+  std::vector<float> base;
+  for (int threads : kKernelThreadCounts) {
+    KernelPoolGuard pool(threads);
+    const std::vector<float> pred = model.predict_batch(batch.merged, stacked);
+    if (threads == 1) {
+      base = pred;
+    } else {
+      EXPECT_EQ(pred, base) << "@ " << threads << " threads";
+    }
+  }
+}
+
 TEST(BatchedTrainingTest, HierarchicalPathTrainsBatched) {
   SyntheticDatasetConfig dcfg;
   dcfg.kind = GraphKind::kDfg;
