@@ -7,8 +7,9 @@
 //   --threads=N  sizes the kernel thread pool (and the restore default the
 //                pool benches fall back to); 0/absent = hardware concurrency
 //   --smoke      runs the CI canary subset: Trainer epochs plus the
-//                deterministic kernel benches (segment scatter + blocked
-//                matmul, whose in-bench bit-identity asserts are the gate)
+//                deterministic kernel benches (segment scatter, blocked
+//                matmul, fused encoder forward — whose in-bench
+//                bit-identity asserts are the gate)
 //   --json=PATH  write results as JSON (google-benchmark's console output
 //                stays on stdout); shorthand for --benchmark_out=PATH
 //                --benchmark_out_format=json, matching the --json flag of
@@ -17,6 +18,7 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -27,6 +29,7 @@
 #include "hls/hls_flow.h"
 #include "nn/adam.h"
 #include "progen/progen.h"
+#include "support/arena.h"
 #include "support/parallel.h"
 #include "tensor/segment_ops.h"
 #include "train/batch_plan.h"
@@ -268,6 +271,131 @@ void BM_GatherScatter(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GatherScatter);
+
+// ----- fused message-passing executor + arena -----
+// Same contract style as the kernel benches above: the fused strategy is
+// asserted bit-identical to the unfused reference before anything is timed,
+// and the variants are pinned to one pool thread so the numbers isolate the
+// fusion / arena effect rather than parallel speedup. "heap_allocs" counts
+// ArenaAllocator heap-path allocations per iteration — the allocator
+// traffic the arena variant removes.
+
+struct FusedBenchData {
+  GraphTensors gt;
+  Matrix feats;
+};
+
+const FusedBenchData& fused_bench_data() {
+  static const FusedBenchData* data = [] {
+    // An 8-graph disjoint union — the steady-state batched-training shape,
+    // large enough that the [E, hidden] tensors the fused path avoids (and
+    // the allocator traffic the arena absorbs) dominate fixed overheads.
+    auto* d = new FusedBenchData;
+    std::vector<GraphTensors> tensors;
+    std::vector<Matrix> feats;
+    for (int i = 0; i < 8; ++i) {
+      LoweredProgram p = lower_to_cdfg(
+          generate_cdfg_program(static_cast<std::uint64_t>(300 + i)));
+      run_hls_flow(p);
+      tensors.push_back(GraphTensors::build(p.graph));
+      feats.push_back(InputFeatureBuilder::build(p.graph,
+                                                 Approach::kOffTheShelf));
+    }
+    std::vector<const GraphTensors*> parts;
+    std::vector<const Matrix*> fparts;
+    for (std::size_t i = 0; i < tensors.size(); ++i) {
+      parts.push_back(&tensors[i]);
+      fparts.push_back(&feats[i]);
+    }
+    d->gt = GraphBatch::build(parts).merged;
+    d->feats = GraphBatch::stack_features(fparts);
+    return d;
+  }();
+  return *data;
+}
+
+/// One forward+backward of a 3-layer hidden-64 encoder (training graph's
+/// steady-state tape shape, minus dropout for determinism).
+Matrix fused_bench_pass(const GnnEncoder& enc, const FusedBenchData& d) {
+  Tape tape;
+  Rng drop(1);
+  const Var h = enc.encode(tape, d.gt, tape.leaf(d.feats), drop, false);
+  tape.backward(tape.sum_all(h));
+  return h.value();
+}
+
+std::unique_ptr<GnnEncoder> fused_bench_encoder(GnnKind kind, bool fused) {
+  const FusedBenchData& d = fused_bench_data();
+  Rng rng(2);
+  EncoderConfig cfg;
+  cfg.in_dim = d.feats.cols();
+  cfg.hidden = 64;
+  cfg.layers = 3;
+  cfg.fused = fused;
+  return make_encoder(kind, cfg, rng);
+}
+
+/// Unfused reference composition, heap-backed ("Reference" in the name
+/// keeps it out of the cross-machine CI comparison, like the kernel
+/// benches' serial references).
+void BM_FusedEncoderReference(benchmark::State& state) {
+  ThreadPool::set_global_threads(1);
+  const auto kind = static_cast<GnnKind>(state.range(0));
+  const FusedBenchData& d = fused_bench_data();
+  const auto enc = fused_bench_encoder(kind, /*fused=*/false);
+  const std::uint64_t allocs_before = thread_matrix_heap_allocs();
+  benchmark::DoNotOptimize(fused_bench_pass(*enc, d).data());
+  const auto allocs =
+      static_cast<double>(thread_matrix_heap_allocs() - allocs_before);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fused_bench_pass(*enc, d).data());
+  }
+  state.counters["heap_allocs"] = allocs;
+  state.SetLabel(std::string(gnn_kind_name(kind)) + " unfused/heap");
+  ThreadPool::set_global_threads(g_default_threads);
+}
+BENCHMARK(BM_FusedEncoderReference)
+    ->Arg(static_cast<int>(GnnKind::kGcn))
+    ->Arg(static_cast<int>(GnnKind::kRgcn));
+
+/// Fused executor, with the per-batch scratch arena off (arg 1 == 0) or on
+/// (arg 1 == 1). Both variants assert bit-identity against the unfused
+/// reference before the timing loop: a mismatch exits nonzero and fails the
+/// bench-smoke CI job regardless of machine speed.
+void BM_FusedEncoderForward(benchmark::State& state) {
+  ThreadPool::set_global_threads(1);
+  const auto kind = static_cast<GnnKind>(state.range(0));
+  const bool arena = state.range(1) != 0;
+  const FusedBenchData& d = fused_bench_data();
+  const auto enc = fused_bench_encoder(kind, /*fused=*/true);
+  {
+    const auto ref = fused_bench_encoder(kind, /*fused=*/false);
+    die_on_mismatch(fused_bench_pass(*enc, d) == fused_bench_pass(*ref, d),
+                    "fused encoder forward");
+  }
+  std::uint64_t allocs = 0;
+  {
+    const ArenaScope scratch(arena ? &thread_scratch_arena() : nullptr);
+    const std::uint64_t allocs_before = thread_matrix_heap_allocs();
+    benchmark::DoNotOptimize(fused_bench_pass(*enc, d).data());
+    allocs = thread_matrix_heap_allocs() - allocs_before;
+  }
+  for (auto _ : state) {
+    // Scope first, pass second: everything the tape allocates dies before
+    // the scope's destructor resets the arena (arena.h lifetime rules).
+    const ArenaScope scratch(arena ? &thread_scratch_arena() : nullptr);
+    benchmark::DoNotOptimize(fused_bench_pass(*enc, d).data());
+  }
+  state.counters["heap_allocs"] = static_cast<double>(allocs);
+  state.SetLabel(std::string(gnn_kind_name(kind)) +
+                 (arena ? " fused/arena" : " fused/heap"));
+  ThreadPool::set_global_threads(g_default_threads);
+}
+BENCHMARK(BM_FusedEncoderForward)
+    ->Args({static_cast<int>(GnnKind::kGcn), 0})
+    ->Args({static_cast<int>(GnnKind::kGcn), 1})
+    ->Args({static_cast<int>(GnnKind::kRgcn), 0})
+    ->Args({static_cast<int>(GnnKind::kRgcn), 1});
 
 void BM_EncoderForward(benchmark::State& state) {
   LoweredProgram p = lower_to_cdfg(generate_cdfg_program(5));
@@ -575,7 +703,8 @@ int main(int argc, char** argv) {
   if (smoke) {
     storage.push_back(
         "--benchmark_filter=BM_Trainer|BM_SegmentScatter|"
-        "BM_SegmentGather|BM_MatmulKernel|BM_MatmulTbKernel");
+        "BM_SegmentGather|BM_MatmulKernel|BM_MatmulTbKernel|"
+        "BM_FusedEncoder");
   }
   gnnhls::g_default_threads = threads;
   gnnhls::ThreadPool::set_global_threads(threads);

@@ -130,10 +130,10 @@ int run(int argc, const char* const* argv) {
   };
   const long w = cfg.batch_window_us;
   const std::vector<Row> rows = {
-      {"max-batch=1 (no batching)", {1, 0}},
-      {"max-batch=N, window=0", {cfg.max_batch, 0}},
-      {"max-batch=N, window=W", {cfg.max_batch, w}},
-      {"max-batch=N, window=5W", {cfg.max_batch, 5 * w}},
+      {"max-batch=1 (no batching)", {1, 0, cfg.arena}},
+      {"max-batch=N, window=0", {cfg.max_batch, 0, cfg.arena}},
+      {"max-batch=N, window=W", {cfg.max_batch, w, cfg.arena}},
+      {"max-batch=N, window=5W", {cfg.max_batch, 5 * w, cfg.arena}},
   };
 
   TextTable table({"serving config", "graphs/s", "avg batch", "p50 us",

@@ -4,6 +4,8 @@
 #include <limits>
 
 #include "gnn/graph_batch.h"
+#include "support/arena.h"
+#include "support/parallel.h"
 #include "train/feature_cache.h"
 
 namespace gnnhls {
@@ -29,6 +31,7 @@ Trainer::Hooks classifier_hooks(const NodeClassifier& classifier) {
 BatchPlan classifier_plan(const std::vector<Sample>& samples,
                           const std::vector<int>& train_idx,
                           const TrainConfig& tc) {
+  const std::uint64_t order_seed = tc.seed * 31 + 7;
   return BatchPlan::build(
       samples, train_idx, tc.batch_size,
       [](const Sample& s) -> const Matrix& {
@@ -37,7 +40,12 @@ BatchPlan classifier_plan(const std::vector<Sample>& samples,
       [](const Sample& s) {
         return FeatureCache::global().node_type_labels(s);
       },
-      Rng(tc.seed * 31 + 7));
+      Rng(order_seed),
+      // Cores depend only on (membership, off-the-shelf features): the -I
+      // hierarchy's classifier refit and the standalone NodeTypePredictor
+      // share one assembly per (seed, split).
+      BatchPlan::share_key("train/cls", order_seed, tc.batch_size, samples,
+                           train_idx));
 }
 
 }  // namespace
@@ -109,7 +117,11 @@ double QorPredictor::fit(const std::vector<Sample>& samples,
 
   // -I trains on ground-truth type bits (knowledge infusion), so training
   // features are a pure function of (sample, approach) for every approach
-  // and come from the FeatureCache.
+  // and come from the FeatureCache. Plan cores depend only on (seed, split,
+  // approach) — never on the fitted metric, which lives in the labels — so
+  // per-metric refits over the same split share one union assembly through
+  // the BatchCoreCache.
+  const std::uint64_t order_seed = train_cfg_.seed * 31 + 1;
   BatchPlan plan = BatchPlan::build(
       samples, split.train, train_cfg_.batch_size,
       [this](const Sample& s) -> const Matrix& {
@@ -118,7 +130,10 @@ double QorPredictor::fit(const std::vector<Sample>& samples,
       [this, metric](const Sample& s) {
         return Matrix(1, 1, encode_target(metric_of(s.truth, metric), metric));
       },
-      Rng(train_cfg_.seed * 31 + 1));
+      Rng(order_seed),
+      BatchPlan::share_key(
+          "train/reg/a" + std::to_string(static_cast<int>(approach_)),
+          order_seed, train_cfg_.batch_size, samples, split.train));
 
   Trainer::Hooks hooks;
   hooks.forward = [this](Tape& tape, const GraphTensors& gt,
@@ -209,7 +224,10 @@ double QorPredictor::evaluate_mape(const std::vector<Sample>& samples,
       pred.push_back(predict(s));
       truth.push_back(metric_of(s.truth, metric_));
     }
-  } else {
+  } else if (!pure_inference_features()) {
+    // Hierarchical self-inferred features depend on the trained classifier,
+    // so the chunk unions cannot come from the sample-keyed core cache;
+    // keep the serial predict_many chunk loop.
     std::vector<const Sample*> chunk;
     chunk.reserve(bs);
     for (std::size_t pos = 0; pos < idx.size(); pos += bs) {
@@ -222,6 +240,38 @@ double QorPredictor::evaluate_mape(const std::vector<Sample>& samples,
       }
       for (double p : predict_many(chunk)) pred.push_back(p);
     }
+  } else {
+    // Sharded evaluation: the chunk unions come from an eval-side BatchPlan
+    // (cores shared across epochs and refits via the BatchCoreCache) and
+    // the per-chunk forwards fan out on the thread pool, each filling its
+    // own pre-sized slot range. Chunk boundaries and per-chunk math are
+    // exactly the serial loop's, so the result is bit-identical to serial
+    // evaluation at any pool width.
+    const BatchPlan plan = BatchPlan::build_eval(
+        samples, idx, static_cast<int>(bs),
+        [this](const Sample& s) -> const Matrix& {
+          return FeatureCache::global().features(s, approach_);
+        },
+        BatchPlan::share_key(
+            "eval/a" + std::to_string(static_cast<int>(approach_)),
+            /*order_seed=*/0, static_cast<int>(bs), samples, idx));
+    for (int i : idx) {
+      truth.push_back(
+          metric_of(samples[static_cast<std::size_t>(i)].truth, metric_));
+    }
+    pred.assign(idx.size(), 0.0);
+    parallel_shards(plan.num_batches(), [&](int b) {
+      // Per-chunk tape temporaries live in this worker's scratch arena.
+      const ArenaScope scratch(train_cfg_.arena ? &thread_scratch_arena()
+                                                : nullptr);
+      const BatchPlan::Item& item = plan.item(b);
+      const std::vector<float> encoded =
+          regressor_->predict_batch(item.batch().merged, item.features());
+      const std::size_t base = static_cast<std::size_t>(b) * bs;
+      for (std::size_t j = 0; j < encoded.size(); ++j) {
+        pred[base + j] = decode_target(encoded[j], metric_);
+      }
+    });
   }
   return mape(pred, truth);
 }

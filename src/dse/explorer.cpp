@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "hls/hls_flow.h"
+#include "support/arena.h"
 #include "support/check.h"
 #include "support/parallel.h"
 
@@ -131,7 +132,14 @@ void Explorer::score_round(std::vector<DseCandidate>& candidates,
     samples.push_back(&candidates[static_cast<std::size_t>(i)].sample);
   }
   for (Metric m : metrics) {
-    const std::vector<double> pred = scorer_.score(m, samples);
+    std::vector<double> pred;
+    {
+      // One scoring call's tape temporaries per arena reset; the doubles
+      // use std::allocator and survive the scope.
+      const ArenaScope scratch(cfg_.arena ? &thread_scratch_arena()
+                                          : nullptr);
+      pred = scorer_.score(m, samples);
+    }
     GNNHLS_CHECK_EQ(pred.size(), subset.size(), "scorer output size");
     for (std::size_t j = 0; j < subset.size(); ++j) {
       candidates[static_cast<std::size_t>(subset[j])]

@@ -122,6 +122,12 @@ struct DseConfig {
   /// Ground-truth synthesis budget of successive halving (>= 1): pruning
   /// halves the candidate set until at most top_k points survive.
   int top_k = 4;
+  /// Back each scoring round's forward temporaries with the exploring
+  /// thread's scratch arena, reset per batched scorer call
+  /// (support/arena.h). Covers the PredictorScorer path (which runs the
+  /// forward inline); the ServingScorer's worker manages its own arena via
+  /// ServeConfig::arena. Execution-only: results are unchanged.
+  bool arena = false;
 };
 
 class Explorer {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "gnn/mp_executor.h"
+
 namespace gnnhls {
 
 std::string gnn_kind_name(GnnKind kind) {
@@ -53,31 +55,11 @@ namespace {
 // reduction (virtual-node pooling, PNA degree averages, top-k pooling)
 // has to respect gt.graph_id / gt.num_graphs. Per-node and per-edge ops
 // are batch-oblivious since union edges never cross member graphs.
-
-/// sum_{(u,v) in E} x_u  ->  per destination v. The cached gt partitions
-/// route the gather's backward and the scatter's forward through the
-/// deterministic parallel kernels without a per-call plan build.
-Var aggregate_sum(Tape& t, const GraphTensors& gt, const Var& x) {
-  if (gt.src.empty()) return t.affine(x, 0.0F, 0.0F);
-  return t.scatter_add_rows(t.gather_rows(x, gt.src, gt.src_part), gt.dst,
-                            gt.num_nodes, gt.dst_part);
-}
-
-Var aggregate_mean(Tape& t, const GraphTensors& gt, const Var& x) {
-  if (gt.src.empty()) return t.affine(x, 0.0F, 0.0F);
-  return t.segment_mean(t.gather_rows(x, gt.src, gt.src_part), gt.dst,
-                        gt.num_nodes, gt.dst_part);
-}
-
-/// GCN propagation: D^-1/2 (A+I) D^-1/2 x with precomputed coefficients.
-Var gcn_propagate(Tape& t, const GraphTensors& gt, const Var& x) {
-  Var self = t.scale_rows(x, gt.gcn_self_coeff);
-  if (gt.src.empty()) return self;
-  const Var msgs =
-      t.scale_rows(t.gather_rows(x, gt.src, gt.src_part), gt.gcn_coeff);
-  return t.add(
-      t.scatter_add_rows(msgs, gt.dst, gt.num_nodes, gt.dst_part), self);
-}
+//
+// Aggregation itself lives in gnn/mp_executor.h: every encoder routes its
+// message passing through mp_aggregate_sum / mp_aggregate_mean /
+// mp_gcn_propagate / mp_relational_aggregate, which pick the fused or the
+// reference composition according to cfg_.fused (bit-identical either way).
 
 // ----- GCN -----
 
@@ -112,7 +94,8 @@ class GcnEncoder : public GnnEncoder {
         h = t.add(h, t.broadcast_rows_by_segment(virt, gt.graph_id,
                                                  gt.graph_part));
       }
-      h = t.relu(convs_[l]->forward(t, gcn_propagate(t, gt, h)));
+      h = t.relu(
+          convs_[l]->forward(t, mp_gcn_propagate(t, gt, h, cfg_.fused)));
       h = t.dropout(h, cfg_.dropout, rng, training);
       if (with_virtual_) {
         virt = t.relu(virtual_mlps_[l]->forward(
@@ -145,7 +128,9 @@ class SgcEncoder : public GnnEncoder {
   Var encode(Tape& t, const GraphTensors& gt, const Var& x, Rng& rng,
              bool training) const override {
     Var h = x;
-    for (int k = 0; k < cfg_.layers; ++k) h = gcn_propagate(t, gt, h);
+    for (int k = 0; k < cfg_.layers; ++k) {
+      h = mp_gcn_propagate(t, gt, h, cfg_.fused);
+    }
     h = linear_->forward(t, h);
     return t.dropout(h, cfg_.dropout, rng, training);
   }
@@ -178,7 +163,7 @@ class SageEncoder : public GnnEncoder {
              bool training) const override {
     Var h = input_->forward(t, x);
     for (std::size_t l = 0; l < self_.size(); ++l) {
-      const Var neighbors = aggregate_mean(t, gt, h);
+      const Var neighbors = mp_aggregate_mean(t, gt, h, cfg_.fused);
       h = t.relu(t.add(self_[l]->forward(t, h),
                        neigh_[l]->forward(t, neighbors)));
       h = t.dropout(h, cfg_.dropout, rng, training);
@@ -216,8 +201,9 @@ class ArmaEncoder : public GnnEncoder {
     Var h = x0;
     for (std::size_t l = 0; l < prop_.size(); ++l) {
       // X^{t+1} = relu(L~ X^t W + X^0 V)
-      h = t.relu(t.add(prop_[l]->forward(t, gcn_propagate(t, gt, h)),
-                       skip_[l]->forward(t, x0)));
+      h = t.relu(
+          t.add(prop_[l]->forward(t, mp_gcn_propagate(t, gt, h, cfg_.fused)),
+                skip_[l]->forward(t, x0)));
       h = t.dropout(h, cfg_.dropout, rng, training);
     }
     return h;
@@ -269,7 +255,9 @@ class PanEncoder : public GnnEncoder {
         const Var scale_col = t.repeat_row(w.var(), gt.num_nodes);
         const Var term = t.mul_col_broadcast(power, scale_col);
         met = p == 0 ? term : t.add(met, term);
-        if (p < kMaxPathLen) power = aggregate_mean(t, gt, power);
+        if (p < kMaxPathLen) {
+          power = mp_aggregate_mean(t, gt, power, cfg_.fused);
+        }
       }
       h = t.relu(mix_[l]->forward(t, met));
       h = t.dropout(h, cfg_.dropout, rng, training);
@@ -323,7 +311,7 @@ class GinEncoder : public GnnEncoder {
       const Var one_eps =
           t.affine(t.repeat_row(eps_[l].var(), gt.num_nodes), 1.0F, 1.0F);
       const Var mixed = t.add(t.mul_col_broadcast(h, one_eps),
-                              aggregate_sum(t, gt, h));
+                              mp_aggregate_sum(t, gt, h, cfg_.fused));
       h = t.relu(mlps_[l]->forward(t, mixed));
       h = t.dropout(h, cfg_.dropout, rng, training);
       if (with_virtual_) {
@@ -461,37 +449,6 @@ class GatEncoder : public GnnEncoder {
   std::vector<std::unique_ptr<Linear>> proj_, att_src_, att_dst_;
 };
 
-// ----- relational helpers -----
-
-/// Per-relation transformed aggregation:
-/// out_v += reduce_{(u,v) in E_r} W_r h_u for every relation r.
-Var relational_aggregate(Tape& t, const GraphTensors& gt, const Var& h,
-                         const std::vector<std::unique_ptr<Linear>>& rel_lins,
-                         bool mean_normalize) {
-  Var acc;
-  bool first = true;
-  for (int r = 0; r < kNumEdgeRelations; ++r) {
-    const auto& edge_ids = gt.relation_edges[static_cast<std::size_t>(r)];
-    if (edge_ids.empty()) continue;
-    std::vector<int> srcs, dsts;
-    srcs.reserve(edge_ids.size());
-    dsts.reserve(edge_ids.size());
-    for (int e : edge_ids) {
-      srcs.push_back(gt.src[static_cast<std::size_t>(e)]);
-      dsts.push_back(gt.dst[static_cast<std::size_t>(e)]);
-    }
-    const Var msgs = rel_lins[static_cast<std::size_t>(r)]->forward(
-        t, t.gather_rows(h, srcs));
-    const Var agg = mean_normalize
-                        ? t.segment_mean(msgs, dsts, gt.num_nodes)
-                        : t.scatter_add_rows(msgs, dsts, gt.num_nodes);
-    acc = first ? agg : t.add(acc, agg);
-    first = false;
-  }
-  if (first) return t.affine(h, 0.0F, 0.0F);
-  return acc;
-}
-
 // ----- GGNN -----
 
 class GgnnEncoder : public GnnEncoder {
@@ -514,7 +471,8 @@ class GgnnEncoder : public GnnEncoder {
              bool training) const override {
     Var h = input_->forward(t, x);
     for (int l = 0; l < cfg_.layers; ++l) {
-      const Var msg = relational_aggregate(t, gt, h, rel_, false);
+      const Var msg = mp_relational_aggregate(t, gt, h, rel_, false,
+                                              cfg_.fused);
       h = gru_->forward(t, msg, h);
       h = t.dropout(h, cfg_.dropout, rng, training);
     }
@@ -555,7 +513,8 @@ class RgcnEncoder : public GnnEncoder {
              bool training) const override {
     Var h = input_->forward(t, x);
     for (std::size_t l = 0; l < self_.size(); ++l) {
-      const Var agg = relational_aggregate(t, gt, h, rel_[l], true);
+      const Var agg = mp_relational_aggregate(t, gt, h, rel_[l], true,
+                                              cfg_.fused);
       h = t.relu(t.add(self_[l]->forward(t, h), agg));
       h = t.dropout(h, cfg_.dropout, rng, training);
     }
@@ -593,7 +552,7 @@ class UnetEncoder : public GnnEncoder {
   Var encode(Tape& t, const GraphTensors& gt, const Var& x, Rng& rng,
              bool training) const override {
     Var h = input_->forward(t, x);
-    h = t.relu(down_->forward(t, gcn_propagate(t, gt, h)));
+    h = t.relu(down_->forward(t, mp_gcn_propagate(t, gt, h, cfg_.fused)));
     const Var skip = h;
 
     // gPool: keep the top-k nodes by projection score, gate by sigmoid.
@@ -626,9 +585,16 @@ class UnetEncoder : public GnnEncoder {
     }
     const int keep = static_cast<int>(kept.size());
 
+    // Pooled-level partitions are per-forward: the kept set depends on the
+    // current score weights, so they cannot live on GraphTensors like the
+    // full-graph caches. One kept-partition serves both gathers and the
+    // unpool scatter (all three index the same [num_nodes] row space).
+    const SegmentPartitionPtr kept_part =
+        make_segment_partition(kept, gt.num_nodes);
+
     const Var gated = t.mul_col_broadcast(
-        t.gather_rows(h, kept),
-        t.sigmoid(t.gather_rows(scores, kept)));
+        t.gather_rows(h, kept, kept_part),
+        t.sigmoid(t.gather_rows(scores, kept, kept_part)));
 
     // Induced subgraph propagation at the bottom level.
     std::vector<int> remap(static_cast<std::size_t>(gt.num_nodes), -1);
@@ -646,17 +612,32 @@ class UnetEncoder : public GnnEncoder {
     }
     Var bottom = gated;
     if (!sub_src.empty()) {
-      bottom = t.add(
-          t.segment_mean(t.gather_rows(gated, sub_src), sub_dst, keep),
-          gated);
+      const SegmentPartitionPtr sub_src_part =
+          make_segment_partition(sub_src, keep);
+      const SegmentPartitionPtr sub_dst_part =
+          make_segment_partition(sub_dst, keep);
+      if (cfg_.fused) {
+        bottom = t.add(
+            t.scale_rows(
+                t.fused_gather_scatter_add(gated, sub_src, sub_dst, keep,
+                                           sub_src_part, sub_dst_part),
+                segment_inverse_counts(*sub_dst_part)),
+            gated);
+      } else {
+        bottom = t.add(
+            t.segment_mean(t.gather_rows(gated, sub_src, sub_src_part),
+                           sub_dst, keep, sub_dst_part),
+            gated);
+      }
     }
     bottom = t.relu(bottom_->forward(t, bottom));
     bottom = t.dropout(bottom, cfg_.dropout, rng, training);
 
     // gUnpool: scatter back into the full node set, add skip.
-    const Var restored = t.scatter_add_rows(bottom, kept, gt.num_nodes);
+    const Var restored =
+        t.scatter_add_rows(bottom, kept, gt.num_nodes, kept_part);
     Var out = t.add(restored, skip);
-    out = t.relu(up_->forward(t, gcn_propagate(t, gt, out)));
+    out = t.relu(up_->forward(t, mp_gcn_propagate(t, gt, out, cfg_.fused)));
     return out;
   }
 
@@ -700,26 +681,45 @@ class FilmEncoder : public GnnEncoder {
     Var h = input_->forward(t, x);
     for (std::size_t l = 0; l < self_.size(); ++l) {
       Var acc = self_[l]->forward(t, h);
+      // FiLM keeps the per-edge modulation materialized (gamma * msg + beta
+      // is edge-wise, not fusable), but routes every gather/scatter through
+      // the relation endpoint views + partitions cached on GraphTensors.
+      const bool have_views =
+          gt.relation_src.size() == gt.relation_edges.size() &&
+          gt.relation_dst.size() == gt.relation_edges.size();
       for (int r = 0; r < kNumEdgeRelations; ++r) {
-        const auto& edge_ids = gt.relation_edges[static_cast<std::size_t>(r)];
+        const std::size_t ri = static_cast<std::size_t>(r);
+        const auto& edge_ids = gt.relation_edges[ri];
         if (edge_ids.empty()) continue;
-        std::vector<int> srcs, dsts;
-        srcs.reserve(edge_ids.size());
-        dsts.reserve(edge_ids.size());
-        for (int e : edge_ids) {
-          srcs.push_back(gt.src[static_cast<std::size_t>(e)]);
-          dsts.push_back(gt.dst[static_cast<std::size_t>(e)]);
+        std::vector<int> local_src, local_dst;
+        const std::vector<int>* srcs = nullptr;
+        const std::vector<int>* dsts = nullptr;
+        SegmentPartitionPtr sp, dp;
+        if (have_views && !gt.relation_src[ri].empty()) {
+          srcs = &gt.relation_src[ri];
+          dsts = &gt.relation_dst[ri];
+          sp = gt.relation_src_part[ri];
+          dp = gt.relation_dst_part[ri];
+        } else {
+          local_src.reserve(edge_ids.size());
+          local_dst.reserve(edge_ids.size());
+          for (int e : edge_ids) {
+            local_src.push_back(gt.src[static_cast<std::size_t>(e)]);
+            local_dst.push_back(gt.dst[static_cast<std::size_t>(e)]);
+          }
+          srcs = &local_src;
+          dsts = &local_dst;
         }
-        const Var msg = rel_[l][static_cast<std::size_t>(r)]->forward(
-            t, t.gather_rows(h, srcs));
+        const Var msg =
+            rel_[l][ri]->forward(t, t.gather_rows(h, *srcs, sp));
         const Var film_params =
-            film_[l][static_cast<std::size_t>(r)]->forward(
-                t, t.gather_rows(h, dsts));
+            film_[l][ri]->forward(t, t.gather_rows(h, *dsts, dp));
         const Var gamma = t.slice_cols(film_params, 0, cfg_.hidden);
         const Var beta =
             t.slice_cols(film_params, cfg_.hidden, 2 * cfg_.hidden);
         const Var modulated = t.relu(t.add(t.mul(gamma, msg), beta));
-        acc = t.add(acc, t.scatter_add_rows(modulated, dsts, gt.num_nodes));
+        acc = t.add(acc,
+                    t.scatter_add_rows(modulated, *dsts, gt.num_nodes, dp));
       }
       h = t.relu(acc);
       h = t.dropout(h, cfg_.dropout, rng, training);

@@ -67,6 +67,24 @@ void GraphTensors::build_partitions() {
   src_self_part = make_segment_partition(src_self, num_nodes);
   dst_self_part = make_segment_partition(dst_self, num_nodes);
   graph_part = make_segment_partition(graph_id, num_graphs);
+
+  const std::size_t relations = relation_edges.size();
+  relation_src.assign(relations, {});
+  relation_dst.assign(relations, {});
+  relation_src_part.assign(relations, nullptr);
+  relation_dst_part.assign(relations, nullptr);
+  for (std::size_t r = 0; r < relations; ++r) {
+    const auto& edge_ids = relation_edges[r];
+    if (edge_ids.empty()) continue;
+    relation_src[r].reserve(edge_ids.size());
+    relation_dst[r].reserve(edge_ids.size());
+    for (int e : edge_ids) {
+      relation_src[r].push_back(src[static_cast<std::size_t>(e)]);
+      relation_dst[r].push_back(dst[static_cast<std::size_t>(e)]);
+    }
+    relation_src_part[r] = make_segment_partition(relation_src[r], num_nodes);
+    relation_dst_part[r] = make_segment_partition(relation_dst[r], num_nodes);
+  }
 }
 
 }  // namespace gnnhls

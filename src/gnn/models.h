@@ -25,6 +25,9 @@ struct ModelConfig {
   int layers = 3;       // paper: 5
   float dropout = 0.0F;
   Pooling pooling = Pooling::kSum;
+  /// Forwarded to EncoderConfig::fused — route message passing through the
+  /// fused executor (bit-identical execution knob, see gnn/mp_executor.h).
+  bool fused = false;
 };
 
 class GraphRegressor : public Module {

@@ -1,0 +1,120 @@
+#include "gnn/mp_executor.h"
+
+namespace gnnhls {
+
+namespace {
+
+bool have_edge_parts(const GraphTensors& gt) {
+  return gt.src_part != nullptr && gt.dst_part != nullptr;
+}
+
+}  // namespace
+
+std::vector<float> segment_inverse_counts(const SegmentPartition& part) {
+  std::vector<float> inv(static_cast<std::size_t>(part.segments));
+  for (int s = 0; s < part.segments; ++s) {
+    const int c = part.count(s);
+    inv[static_cast<std::size_t>(s)] =
+        c > 0 ? 1.0F / static_cast<float>(c) : 0.0F;
+  }
+  return inv;
+}
+
+Var mp_aggregate_sum(Tape& t, const GraphTensors& gt, const Var& x,
+                     bool fused) {
+  if (gt.src.empty()) return t.affine(x, 0.0F, 0.0F);
+  if (fused && have_edge_parts(gt)) {
+    return t.fused_gather_scatter_add(x, gt.src, gt.dst, gt.num_nodes,
+                                      gt.src_part, gt.dst_part);
+  }
+  return t.scatter_add_rows(t.gather_rows(x, gt.src, gt.src_part), gt.dst,
+                            gt.num_nodes, gt.dst_part);
+}
+
+Var mp_aggregate_mean(Tape& t, const GraphTensors& gt, const Var& x,
+                      bool fused) {
+  if (gt.src.empty()) return t.affine(x, 0.0F, 0.0F);
+  if (fused && have_edge_parts(gt)) {
+    // segment_mean = scatter_add then scale_rows(1/count); the fused node
+    // replaces the scatter_add half, the scale_rows half is unchanged (its
+    // coefficients come from the same cached partition counts).
+    return t.scale_rows(
+        t.fused_gather_scatter_add(x, gt.src, gt.dst, gt.num_nodes,
+                                   gt.src_part, gt.dst_part),
+        segment_inverse_counts(*gt.dst_part));
+  }
+  return t.segment_mean(t.gather_rows(x, gt.src, gt.src_part), gt.dst,
+                        gt.num_nodes, gt.dst_part);
+}
+
+Var mp_gcn_propagate(Tape& t, const GraphTensors& gt, const Var& x,
+                     bool fused) {
+  // The self term is created before the message chain in both strategies so
+  // the backward pass accumulates into x's sink in the same op order.
+  Var self = t.scale_rows(x, gt.gcn_self_coeff);
+  if (gt.src.empty()) return self;
+  if (fused && have_edge_parts(gt)) {
+    const Var msgs =
+        t.fused_gather_scatter_add(x, gt.src, gt.dst, gt.num_nodes,
+                                   gt.src_part, gt.dst_part, gt.gcn_coeff);
+    return t.add(msgs, self);
+  }
+  const Var msgs =
+      t.scale_rows(t.gather_rows(x, gt.src, gt.src_part), gt.gcn_coeff);
+  return t.add(
+      t.scatter_add_rows(msgs, gt.dst, gt.num_nodes, gt.dst_part), self);
+}
+
+Var mp_relational_aggregate(
+    Tape& t, const GraphTensors& gt, const Var& h,
+    const std::vector<std::unique_ptr<Linear>>& rel_lins, bool mean_normalize,
+    bool fused) {
+  const bool have_views = gt.relation_src.size() == gt.relation_edges.size() &&
+                          gt.relation_dst.size() == gt.relation_edges.size();
+  Var acc;
+  bool first = true;
+  for (std::size_t r = 0; r < gt.relation_edges.size(); ++r) {
+    const auto& edge_ids = gt.relation_edges[r];
+    if (edge_ids.empty()) continue;
+    // Endpoint views: the caches built by build_partitions(), or a local
+    // rebuild for hand-assembled GraphTensors.
+    std::vector<int> local_src, local_dst;
+    const std::vector<int>* srcs = nullptr;
+    const std::vector<int>* dsts = nullptr;
+    SegmentPartitionPtr sp, dp;
+    if (have_views && !gt.relation_src[r].empty()) {
+      srcs = &gt.relation_src[r];
+      dsts = &gt.relation_dst[r];
+      sp = gt.relation_src_part[r];
+      dp = gt.relation_dst_part[r];
+    } else {
+      local_src.reserve(edge_ids.size());
+      local_dst.reserve(edge_ids.size());
+      for (int e : edge_ids) {
+        local_src.push_back(gt.src[static_cast<std::size_t>(e)]);
+        local_dst.push_back(gt.dst[static_cast<std::size_t>(e)]);
+      }
+      srcs = &local_src;
+      dsts = &local_dst;
+    }
+    const Linear& lin = *rel_lins[r];
+    Var agg;
+    if (fused && sp != nullptr && dp != nullptr && !lin.has_bias()) {
+      const Var summed = t.fused_gather_matmul_scatter_add(
+          h, lin.weight(), *srcs, *dsts, gt.num_nodes, sp, dp);
+      agg = mean_normalize ? t.scale_rows(summed, segment_inverse_counts(*dp))
+                           : summed;
+    } else {
+      const Var msgs = lin.forward(t, t.gather_rows(h, *srcs, sp));
+      agg = mean_normalize
+                ? t.segment_mean(msgs, *dsts, gt.num_nodes, dp)
+                : t.scatter_add_rows(msgs, *dsts, gt.num_nodes, dp);
+    }
+    acc = first ? agg : t.add(acc, agg);
+    first = false;
+  }
+  if (first) return t.affine(h, 0.0F, 0.0F);
+  return acc;
+}
+
+}  // namespace gnnhls

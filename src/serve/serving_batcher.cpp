@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "support/arena.h"
 #include "support/check.h"
 
 namespace gnnhls {
@@ -73,6 +74,9 @@ void ServingBatcher::run_batch(std::vector<Request>& batch,
   std::vector<double> pred;
   std::exception_ptr error;
   try {
+    // One forward's worth of tape temporaries per arena reset; the returned
+    // doubles use std::allocator and survive the scope.
+    const ArenaScope scratch(cfg_.arena ? &thread_scratch_arena() : nullptr);
     pred = predictor_.predict_many(parts);
   } catch (...) {
     error = std::current_exception();

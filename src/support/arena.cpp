@@ -1,0 +1,81 @@
+#include "support/arena.h"
+
+#include <algorithm>
+
+namespace gnnhls {
+
+namespace {
+
+/// Growth cap: blocks double up to this, bounding worst-case overshoot.
+constexpr std::size_t kMaxBlockBytes = std::size_t{64} << 20;
+
+std::size_t align_up(std::size_t v, std::size_t align) {
+  return (v + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  GNNHLS_CHECK(align > 0 && (align & (align - 1)) == 0,
+               "Arena: alignment must be a power of two");
+  GNNHLS_CHECK(align <= alignof(std::max_align_t),
+               "Arena: alignment exceeds block alignment");
+  std::lock_guard<std::mutex> lock(mu_);
+  // First fit over existing blocks: after a reset every block is empty, so
+  // steady-state batches bump straight through block 0 and the scan is
+  // effectively O(1).
+  for (Block& b : blocks_) {
+    const std::size_t at = align_up(b.used, align);
+    if (at + bytes <= b.size) {
+      b.used = at + bytes;
+      return b.data.get() + at;
+    }
+  }
+  // New block: geometric growth, large one-off requests get their own block.
+  const std::size_t want = std::max(bytes + align, next_block_bytes_);
+  next_block_bytes_ = std::min(next_block_bytes_ * 2, kMaxBlockBytes);
+  Block b;
+  b.size = want;
+  b.data = std::make_unique<unsigned char[]>(want);
+  const std::size_t base = align_up(
+      reinterpret_cast<std::uintptr_t>(b.data.get()) % align == 0 ? 0 : align,
+      align);
+  b.used = base + bytes;
+  unsigned char* out = b.data.get() + base;
+  blocks_.push_back(std::move(b));
+  return out;
+}
+
+void Arena::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Block& b : blocks_) b.used = 0;
+}
+
+std::size_t Arena::used_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t total = 0;
+  for (const Block& b : blocks_) total += b.used;
+  return total;
+}
+
+std::size_t Arena::reserved_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t total = 0;
+  for (const Block& b : blocks_) total += b.size;
+  return total;
+}
+
+std::size_t Arena::block_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return blocks_.size();
+}
+
+Arena& thread_scratch_arena() {
+  // Leaked per thread: worker threads are process-lifetime, and a scratch
+  // arena must never die while another thread could still be draining
+  // matrices allocated from it.
+  thread_local Arena* arena = new Arena();
+  return *arena;
+}
+
+}  // namespace gnnhls

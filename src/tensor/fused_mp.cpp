@@ -1,0 +1,312 @@
+#include "tensor/fused_mp.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+#include "support/parallel.h"
+
+#if defined(GNNHLS_SIMD) && defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace gnnhls {
+
+namespace {
+
+/// Same scheduling thresholds as segment_ops.cpp / matrix.cpp: below these
+/// a kernel runs its serial loop inline. Thresholds steer scheduling only —
+/// every path is value-identical.
+constexpr std::size_t kMinParallelElems = 1U << 13;
+constexpr long kMinFlopsPerChunk = 1L << 14;
+
+/// Edges per parallel range so each range carries at least min_work's worth
+/// of inner-loop work (`per_edge` = elements or flops moved per edge).
+int edge_grain(long per_edge, long min_work) {
+  return static_cast<int>(std::max(1L, min_work / std::max(per_edge, 1L))) + 1;
+}
+
+#if defined(GNNHLS_SIMD) && defined(__AVX2__)
+/// Mirror of matrix.cpp's axpy_row: orow[j..) += aik * brow[j..). Unfused
+/// multiply+add (no FMA) so each element performs exactly the same rounding
+/// steps as the scalar loop; the build adds -ffp-contract=off to this TU.
+inline void axpy_row(float aik, const float* brow, float* orow, int n) {
+  const __m256 va = _mm256_set1_ps(aik);
+  int j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m256 vb = _mm256_loadu_ps(brow + j);
+    const __m256 vo = _mm256_loadu_ps(orow + j);
+    _mm256_storeu_ps(orow + j, _mm256_add_ps(vo, _mm256_mul_ps(va, vb)));
+  }
+  for (; j < n; ++j) orow[j] += aik * brow[j];
+}
+#else
+inline void axpy_row(float aik, const float* brow, float* orow, int n) {
+  for (int j = 0; j < n; ++j) orow[j] += aik * brow[j];
+}
+#endif
+
+/// Dispatches `run(seg_lo, seg_hi)` over edge-count-balanced destination
+/// ranges of `part` (one owner per segment, same as scatter_add_rows_into),
+/// or inline when the total work does not amortize a pool wakeup.
+template <typename Run>
+void for_each_segment_range(const SegmentPartition& part, long per_edge_work,
+                            long total_work, const Run& run) {
+  if (part.segments == 0) return;
+  if (ThreadPool::global().num_workers() == 0 ||
+      total_work < static_cast<long>(kMinParallelElems)) {
+    run(0, part.segments);
+    return;
+  }
+  const int min_cost =
+      edge_grain(per_edge_work, static_cast<long>(kMinParallelElems));
+  const std::vector<int> bounds = balanced_boundaries(
+      part.offsets, ThreadPool::global().num_threads() * 4, min_cost);
+  parallel_over_ranges(bounds, run);
+}
+
+}  // namespace
+
+Matrix fused_gather_scatter(const Matrix& x, const std::vector<int>& src,
+                            const SegmentPartition& dst_part,
+                            const std::vector<float>& coeff) {
+  GNNHLS_CHECK_EQ(static_cast<int>(dst_part.order.size()),
+                  static_cast<int>(src.size()),
+                  "fused_gather_scatter: partition covers different edges");
+  GNNHLS_CHECK(coeff.empty() || coeff.size() == src.size(),
+               "fused_gather_scatter: one coefficient per edge required");
+  const int cols = x.cols();
+  Matrix out(dst_part.segments, cols);
+  const float* cf = coeff.empty() ? nullptr : coeff.data();
+  const auto run = [&](int seg_lo, int seg_hi) {
+    for (int s = seg_lo; s < seg_hi; ++s) {
+      const int lo = dst_part.offsets[static_cast<std::size_t>(s)];
+      const int hi = dst_part.offsets[static_cast<std::size_t>(s) + 1];
+      float* o = out.row_ptr(s);
+      for (int e = lo; e < hi; ++e) {
+        const int edge = dst_part.order[static_cast<std::size_t>(e)];
+        const int r = src[static_cast<std::size_t>(edge)];
+        GNNHLS_CHECK(r >= 0 && r < x.rows(),
+                     "fused_gather_scatter: bad source index");
+        const float* srow = x.row_ptr(r);
+        if (cf == nullptr) {
+          for (int j = 0; j < cols; ++j) o[j] += srow[j];
+        } else {
+          // Round the product, then the add — the exact per-element
+          // sequence of scale_rows followed by scatter_add.
+          const float c = cf[static_cast<std::size_t>(edge)];
+          for (int j = 0; j < cols; ++j) o[j] += c * srow[j];
+        }
+      }
+    }
+  };
+  const long work = static_cast<long>(src.size()) * std::max(cols, 1) +
+                    dst_part.segments;
+  for_each_segment_range(dst_part, std::max(cols, 1), work, run);
+  return out;
+}
+
+void fused_gather_scatter_backward_x(const Matrix& out_grad,
+                                     const std::vector<int>& dst,
+                                     const SegmentPartition& src_part,
+                                     const std::vector<float>& coeff,
+                                     Matrix& x_grad) {
+  GNNHLS_CHECK_EQ(static_cast<int>(src_part.order.size()),
+                  static_cast<int>(dst.size()),
+                  "fused_gather_scatter_backward_x: partition/edge mismatch");
+  GNNHLS_CHECK_EQ(x_grad.rows(), src_part.segments,
+                  "fused_gather_scatter_backward_x: grad row mismatch");
+  GNNHLS_CHECK_EQ(x_grad.cols(), out_grad.cols(),
+                  "fused_gather_scatter_backward_x: column mismatch");
+  GNNHLS_CHECK(coeff.empty() || coeff.size() == dst.size(),
+               "fused_gather_scatter_backward_x: coefficient count mismatch");
+  const int cols = out_grad.cols();
+  const float* cf = coeff.empty() ? nullptr : coeff.data();
+  const auto run = [&](int seg_lo, int seg_hi) {
+    for (int u = seg_lo; u < seg_hi; ++u) {
+      const int lo = src_part.offsets[static_cast<std::size_t>(u)];
+      const int hi = src_part.offsets[static_cast<std::size_t>(u) + 1];
+      float* g = x_grad.row_ptr(u);
+      for (int e = lo; e < hi; ++e) {
+        const int edge = src_part.order[static_cast<std::size_t>(e)];
+        const int d = dst[static_cast<std::size_t>(edge)];
+        GNNHLS_CHECK(d >= 0 && d < out_grad.rows(),
+                     "fused_gather_scatter_backward_x: bad destination index");
+        const float* grow = out_grad.row_ptr(d);
+        if (cf == nullptr) {
+          for (int j = 0; j < cols; ++j) g[j] += grow[j];
+        } else {
+          const float c = cf[static_cast<std::size_t>(edge)];
+          for (int j = 0; j < cols; ++j) g[j] += c * grow[j];
+        }
+      }
+    }
+  };
+  const long work = static_cast<long>(dst.size()) * std::max(cols, 1) +
+                    src_part.segments;
+  for_each_segment_range(src_part, std::max(cols, 1), work, run);
+}
+
+Matrix fused_gather_matmul_scatter(const Matrix& x, const Matrix& w,
+                                   const std::vector<int>& src,
+                                   const SegmentPartition& dst_part) {
+  GNNHLS_CHECK_EQ(x.cols(), w.rows(),
+                  "fused_gather_matmul_scatter: inner dimension mismatch");
+  GNNHLS_CHECK_EQ(static_cast<int>(dst_part.order.size()),
+                  static_cast<int>(src.size()),
+                  "fused_gather_matmul_scatter: partition covers different "
+                  "edges");
+  const int K = x.cols();
+  const int N = w.cols();
+  Matrix out(dst_part.segments, N);
+  const auto run = [&](int seg_lo, int seg_hi) {
+    // One message-sized accumulator per task, reused across the range's
+    // edges: the whole [E, N] message tensor of the unfused path shrinks to
+    // N floats of hot cache.
+    std::vector<float> tmp(static_cast<std::size_t>(N));
+    for (int s = seg_lo; s < seg_hi; ++s) {
+      const int lo = dst_part.offsets[static_cast<std::size_t>(s)];
+      const int hi = dst_part.offsets[static_cast<std::size_t>(s) + 1];
+      float* o = out.row_ptr(s);
+      for (int e = lo; e < hi; ++e) {
+        const int edge = dst_part.order[static_cast<std::size_t>(e)];
+        const int r = src[static_cast<std::size_t>(edge)];
+        GNNHLS_CHECK(r >= 0 && r < x.rows(),
+                     "fused_gather_matmul_scatter: bad source index");
+        const float* srow = x.row_ptr(r);
+        // Complete the edge's message in tmp (ascending-k axpy chain from
+        // zero, matmul's per-element order), then add it to the destination
+        // row — the same two rounding steps as matmul-then-scatter. The
+        // zero skip only changes the sign of exact zeros (sparse-matmul
+        // latitude); x is post-ReLU sparse on the inner layers.
+        std::fill(tmp.begin(), tmp.end(), 0.0F);
+        for (int k = 0; k < K; ++k) {
+          const float xv = srow[k];
+          if (xv == 0.0F) continue;
+          axpy_row(xv, w.row_ptr(k), tmp.data(), N);
+        }
+        for (int j = 0; j < N; ++j) o[j] += tmp[j];
+      }
+    }
+  };
+  const long per_edge = 2L * K * std::max(N, 1);
+  const long total = static_cast<long>(src.size()) * per_edge;
+  if (dst_part.segments == 0) return out;
+  if (ThreadPool::global().num_workers() == 0 || total < kMinFlopsPerChunk) {
+    run(0, dst_part.segments);
+    return out;
+  }
+  const int min_cost = edge_grain(per_edge, kMinFlopsPerChunk);
+  const std::vector<int> bounds = balanced_boundaries(
+      dst_part.offsets, ThreadPool::global().num_threads() * 4, min_cost);
+  parallel_over_ranges(bounds, run);
+  return out;
+}
+
+void fused_gather_matmul_scatter_backward_x(const Matrix& out_grad,
+                                            const Matrix& w,
+                                            const std::vector<int>& dst,
+                                            const SegmentPartition& src_part,
+                                            Matrix& x_grad) {
+  GNNHLS_CHECK_EQ(out_grad.cols(), w.cols(),
+                  "fused_gather_matmul_scatter_backward_x: column mismatch");
+  GNNHLS_CHECK_EQ(x_grad.cols(), w.rows(),
+                  "fused_gather_matmul_scatter_backward_x: grad columns");
+  GNNHLS_CHECK_EQ(x_grad.rows(), src_part.segments,
+                  "fused_gather_matmul_scatter_backward_x: grad rows");
+  GNNHLS_CHECK_EQ(static_cast<int>(src_part.order.size()),
+                  static_cast<int>(dst.size()),
+                  "fused_gather_matmul_scatter_backward_x: partition/edge "
+                  "mismatch");
+  const int K = w.rows();
+  const int N = w.cols();
+  const auto run = [&](int seg_lo, int seg_hi) {
+    for (int u = seg_lo; u < seg_hi; ++u) {
+      const int lo = src_part.offsets[static_cast<std::size_t>(u)];
+      const int hi = src_part.offsets[static_cast<std::size_t>(u) + 1];
+      float* g = x_grad.row_ptr(u);
+      for (int e = lo; e < hi; ++e) {
+        const int edge = src_part.order[static_cast<std::size_t>(e)];
+        const int d = dst[static_cast<std::size_t>(edge)];
+        GNNHLS_CHECK(d >= 0 && d < out_grad.rows(),
+                     "fused_gather_matmul_scatter_backward_x: bad "
+                     "destination index");
+        const float* grow = out_grad.row_ptr(d);
+        // matmul_transpose_b's column tile: four independent single-
+        // accumulator dot chains (ascending j) share the streamed grad row.
+        // Each x_grad element still receives exactly one rounded chain.
+        int k = 0;
+        for (; k + 4 <= K; k += 4) {
+          const float* w0 = w.row_ptr(k);
+          const float* w1 = w.row_ptr(k + 1);
+          const float* w2 = w.row_ptr(k + 2);
+          const float* w3 = w.row_ptr(k + 3);
+          float acc0 = 0.0F, acc1 = 0.0F, acc2 = 0.0F, acc3 = 0.0F;
+          for (int j = 0; j < N; ++j) {
+            const float gv = grow[j];
+            acc0 += gv * w0[j];
+            acc1 += gv * w1[j];
+            acc2 += gv * w2[j];
+            acc3 += gv * w3[j];
+          }
+          g[k] += acc0;
+          g[k + 1] += acc1;
+          g[k + 2] += acc2;
+          g[k + 3] += acc3;
+        }
+        for (; k < K; ++k) {
+          const float* wr = w.row_ptr(k);
+          float acc = 0.0F;
+          for (int j = 0; j < N; ++j) acc += grow[j] * wr[j];
+          g[k] += acc;
+        }
+      }
+    }
+  };
+  const long per_edge = 2L * K * std::max(N, 1);
+  const long total = static_cast<long>(dst.size()) * per_edge;
+  if (src_part.segments == 0) return;
+  if (ThreadPool::global().num_workers() == 0 || total < kMinFlopsPerChunk) {
+    run(0, src_part.segments);
+    return;
+  }
+  const int min_cost = edge_grain(per_edge, kMinFlopsPerChunk);
+  const std::vector<int> bounds = balanced_boundaries(
+      src_part.offsets, ThreadPool::global().num_threads() * 4, min_cost);
+  parallel_over_ranges(bounds, run);
+}
+
+Matrix fused_gather_matmul_scatter_backward_w(const Matrix& x,
+                                              const Matrix& out_grad,
+                                              const std::vector<int>& src,
+                                              const std::vector<int>& dst) {
+  GNNHLS_CHECK_EQ(static_cast<int>(src.size()), static_cast<int>(dst.size()),
+                  "fused_gather_matmul_scatter_backward_w: edge list "
+                  "mismatch");
+  const int K = x.cols();
+  const int N = out_grad.cols();
+  Matrix gw(K, N);
+  // Deliberately serial and edge-outer, mirroring matmul_transpose_a (the
+  // unfused weight-gradient kernel): the [K, N] output is cache-resident
+  // while the edge stream is tall, and original edge order 0..E-1 is the
+  // rounding order the unfused path commits to.
+  for (std::size_t e = 0; e < src.size(); ++e) {
+    const int r = src[e];
+    const int d = dst[e];
+    GNNHLS_CHECK(r >= 0 && r < x.rows(),
+                 "fused_gather_matmul_scatter_backward_w: bad source index");
+    GNNHLS_CHECK(d >= 0 && d < out_grad.rows(),
+                 "fused_gather_matmul_scatter_backward_w: bad destination "
+                 "index");
+    const float* xrow = x.row_ptr(r);
+    const float* grow = out_grad.row_ptr(d);
+    for (int k = 0; k < K; ++k) {
+      const float xv = xrow[k];
+      if (xv == 0.0F) continue;
+      float* orow = gw.row_ptr(k);
+      for (int j = 0; j < N; ++j) orow[j] += xv * grow[j];
+    }
+  }
+  return gw;
+}
+
+}  // namespace gnnhls

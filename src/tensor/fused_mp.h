@@ -1,0 +1,88 @@
+// Fused message-passing kernels: gather -> (scale | matmul) -> scatter-add
+// in one pass, without materializing the [E, hidden] message tensor.
+//
+// The unfused autograd composition builds three tape nodes per layer —
+// gather_rows (copy x[src[e]] into an [E, H] buffer), an optional per-edge
+// transform (scale_rows for GCN normalization, matmul for relational
+// weights), and scatter_add_rows — allocating and streaming two or three
+// edge-sized intermediates per layer per step. These kernels walk the cached
+// destination SegmentPartition instead: for every destination row they
+// gather the source rows of its edge slice, apply the transform into a
+// register/cache-resident accumulator, and add straight into the output row.
+//
+// Bit-identity contract (the same discipline as segment_ops.h): work is
+// partitioned by destination row, each destination is owned by exactly one
+// task, and its edges accumulate in the partition's ascending-edge order —
+// precisely the per-element rounding sequence of the unfused kernel chain.
+// Fused and unfused paths are therefore value-identical at any thread-pool
+// width (mod the sign of exact zeros, which operator== treats as equal, the
+// same latitude the sparse matmul path already uses). No kernel here may
+// use FMA: matrix.cpp's axpy discipline (unfused multiply+add) is
+// replicated, and the SIMD build compiles this TU with -ffp-contract=off.
+//
+// These are pure Matrix kernels; the autograd glue (tape nodes whose
+// backward walks the cached *source* partition the same way) lives in
+// Tape::fused_gather_scatter_add / Tape::fused_gather_matmul_scatter_add.
+#pragma once
+
+#include <vector>
+
+#include "tensor/matrix.h"
+#include "tensor/segment_ops.h"
+
+namespace gnnhls {
+
+/// out[v, :] = sum over dst_part's edge slice of v (ascending):
+///   coeff.empty() ? x[src[e], :] : coeff[e] * x[src[e], :]
+/// Shapes: x [V_src, H], out [dst_part.segments, H]. Equals
+/// gather_rows -> (scale_rows) -> scatter_add_rows without the [E, H]
+/// intermediate. Rows of `out` whose segment has no edges stay zero.
+Matrix fused_gather_scatter(const Matrix& x, const std::vector<int>& src,
+                            const SegmentPartition& dst_part,
+                            const std::vector<float>& coeff);
+
+/// Backward of fused_gather_scatter with respect to x, accumulated into
+/// x_grad (+=): walks the *source* partition so each x row is owned by one
+/// task:
+///   x_grad[u, :] += sum over src_part's slice of u (ascending):
+///     coeff.empty() ? out_grad[dst[e], :] : coeff[e] * out_grad[dst[e], :]
+/// Equals the unfused reverse chain (gather-add of out_grad, per-edge scale,
+/// scatter-add into x_grad) in the same rounding order.
+void fused_gather_scatter_backward_x(const Matrix& out_grad,
+                                     const std::vector<int>& dst,
+                                     const SegmentPartition& src_part,
+                                     const std::vector<float>& coeff,
+                                     Matrix& x_grad);
+
+/// out[v, :] = sum over dst_part's slice of v (ascending):
+///   row_e, where row_e[j] = sum_k ascending x[src[e], k] * w[k, j]
+/// (each edge's message is completed in a local accumulator, then added to
+/// the destination row — the exact two-step rounding of matmul-then-scatter).
+/// Shapes: x [V_src, K], w [K, N], out [dst_part.segments, N].
+Matrix fused_gather_matmul_scatter(const Matrix& x, const Matrix& w,
+                                   const std::vector<int>& src,
+                                   const SegmentPartition& dst_part);
+
+/// Backward of fused_gather_matmul_scatter w.r.t. x, accumulated into
+/// x_grad (+=). Per source row u (one task each), per edge of its slice
+/// (ascending), per input column k: one ascending-j dot-product chain
+///   acc = sum_j out_grad[dst[e], j] * w[k, j];  x_grad[u, k] += acc
+/// — the rounding order of matmul_transpose_b followed by scatter-add.
+void fused_gather_matmul_scatter_backward_x(const Matrix& out_grad,
+                                            const Matrix& w,
+                                            const std::vector<int>& dst,
+                                            const SegmentPartition& src_part,
+                                            Matrix& x_grad);
+
+/// Backward of fused_gather_matmul_scatter w.r.t. w. Returns the [K, N]
+/// gradient as a fresh matrix (the caller add_inplace's it into the weight
+/// sink exactly once, preserving the unfused accumulation granularity —
+/// relational weights shared across layers must not see reassociated sums).
+/// Mirrors matmul_transpose_a: serial, edges in original order 0..E-1,
+/// zero-skip on the (typically post-ReLU sparse) x entries.
+Matrix fused_gather_matmul_scatter_backward_w(const Matrix& x,
+                                              const Matrix& out_grad,
+                                              const std::vector<int>& src,
+                                              const std::vector<int>& dst);
+
+}  // namespace gnnhls

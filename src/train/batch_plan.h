@@ -10,6 +10,17 @@
 // benefit while amortizing assembly entirely — the multi-epoch batch reuse
 // the ROADMAP calls out.
 //
+// Cross-fit sharing: membership is a pure function of (ordered sample uids,
+// batch_size, order seed), and a batch's expensive half — the GraphBatch
+// union plus the stacked feature matrix — is additionally a pure function of
+// the feature variant. That immutable half lives in a BatchCore; plans built
+// with a non-empty share_key route their cores through the process-wide
+// BatchCoreCache, so same-split refits (e.g. the same corpus fitted per
+// metric, or per-epoch validation evaluation) reuse one assembly instead of
+// rebuilding identical unions. Labels stay per-plan (they encode the fitted
+// metric). Cache hits change nothing numerically: the membership shuffle
+// still runs (same Rng draw stream), only the assembly is skipped.
+//
 // In legacy mode (batch_size <= 1) the plan degrades to a per-sample view
 // with the persistent order vector the old loop used, reshuffled with the
 // same Rng draws, so single-graph gradient-accumulation training stays
@@ -17,6 +28,10 @@
 #pragma once
 
 #include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "dataset/dataset.h"
@@ -26,14 +41,52 @@
 
 namespace gnnhls {
 
+/// The immutable, shareable half of one mini-batch: fixed membership, the
+/// members' disjoint union, and their stacked input features. Always
+/// heap-backed (assembly pauses any installed scratch arena) because cached
+/// cores outlive every per-batch arena reset.
+struct BatchCore {
+  std::vector<int> members;  // sample indices, fixed for the fit
+  GraphBatch batch;          // disjoint union of the members
+  Matrix features;           // stacked per-node input features
+};
+
+using BatchCorePtr = std::shared_ptr<const BatchCore>;
+
+/// Process-wide cache of BatchCore sequences keyed by BatchPlan::share_key
+/// strings. Thread-safe; the builder runs under the cache lock, so
+/// concurrent lookups of the same key build once.
+class BatchCoreCache {
+ public:
+  static BatchCoreCache& global();
+
+  using BuildFn = std::function<std::vector<BatchCorePtr>()>;
+  /// Returns the core sequence for `key`, invoking `build` on first use.
+  std::vector<BatchCorePtr> lookup(const std::string& key,
+                                   const BuildFn& build);
+
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::vector<BatchCorePtr>> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
 class BatchPlan {
  public:
-  /// One prebuilt mini-batch of the rotation (batched mode).
+  /// One mini-batch of the rotation (batched mode): a shared immutable core
+  /// plus this plan's stacked labels.
   struct Item {
-    std::vector<int> members;  // sample indices, fixed for the fit
-    GraphBatch batch;          // disjoint union of the members
-    Matrix features;           // stacked per-node input features
-    Matrix labels;             // stacked labels ([k,1] targets / [n,3] bits)
+    BatchCorePtr core;
+    Matrix labels;  // stacked labels ([k,1] targets / [n,3] bits)
+
+    const std::vector<int>& members() const { return core->members; }
+    const GraphBatch& batch() const { return core->batch; }
+    const Matrix& features() const { return core->features; }
   };
 
   /// Returns a stable reference to sample s's input features (the
@@ -47,10 +100,30 @@ class BatchPlan {
   /// membership-fixing shuffle (batched mode) and the per-epoch reshuffles;
   /// pass the same seed the old fit loop used and epoch 0 reproduces its
   /// first epoch exactly. Union assembly fans out on the global thread pool.
+  /// A non-empty share_key (see the share_key helper) routes the cores
+  /// through the BatchCoreCache: the key must pin every input the cores
+  /// depend on — uid sequence, batch size, order seed, feature variant.
   static BatchPlan build(const std::vector<Sample>& samples,
                          const std::vector<int>& train_idx, int batch_size,
                          const FeatureFn& feature_of, const LabelFn& label_of,
-                         Rng order_rng);
+                         Rng order_rng, const std::string& share_key = {});
+
+  /// Evaluation-side plan: consecutive chunks of `idx` in input order (no
+  /// shuffle, no labels, no rotation), sharing the same core cache. Used by
+  /// sharded evaluate_mape; requires batch_size >= 2.
+  static BatchPlan build_eval(const std::vector<Sample>& samples,
+                              const std::vector<int>& idx, int batch_size,
+                              const FeatureFn& feature_of,
+                              const std::string& share_key = {});
+
+  /// Composes a BatchCoreCache key. `tag` must encode the feature variant
+  /// (and train/eval kind), order_seed the membership shuffle seed (0 for
+  /// eval plans), and idx the sample subset; the samples' uids pin corpus
+  /// identity.
+  static std::string share_key(const std::string& tag,
+                               std::uint64_t order_seed, int batch_size,
+                               const std::vector<Sample>& samples,
+                               const std::vector<int>& idx);
 
   bool batched() const { return batch_size_ > 1; }
   int batch_size() const { return batch_size_; }

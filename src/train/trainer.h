@@ -63,6 +63,13 @@ struct TrainConfig {
   /// clamped to the step's batch count. Ignored by the legacy
   /// batch_size<=1 path, which is defined as a serial trajectory.
   int shards = 1;
+  /// Back per-batch tape temporaries (activations, adjoints, kernel scratch)
+  /// with each worker thread's bump-pointer scratch arena, reset at every
+  /// batch boundary (see support/arena.h). Execution-only: allocation
+  /// placement never changes a computed value. Batched mode only — the
+  /// legacy batch_size<=1 path accumulates parameter gradients across tapes
+  /// and is left on the heap.
+  bool arena = false;
   std::uint64_t seed = 1;
 };
 

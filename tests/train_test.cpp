@@ -152,11 +152,11 @@ TEST(BatchPlanTest, MembershipFixedAcrossEpochRotations) {
   std::multiset<int> covered;
   for (int b = 0; b < plan.num_batches(); ++b) {
     const BatchPlan::Item& item = plan.item(b);
-    EXPECT_EQ(item.batch.num_graphs(),
-              static_cast<int>(item.members.size()));
-    EXPECT_EQ(item.features.rows(), item.batch.num_nodes());
-    EXPECT_EQ(item.labels.rows(), item.batch.num_graphs());
-    covered.insert(item.members.begin(), item.members.end());
+    EXPECT_EQ(item.batch().num_graphs(),
+              static_cast<int>(item.members().size()));
+    EXPECT_EQ(item.features().rows(), item.batch().num_nodes());
+    EXPECT_EQ(item.labels.rows(), item.batch().num_graphs());
+    covered.insert(item.members().begin(), item.members().end());
   }
   EXPECT_EQ(covered.size(), train_idx.size());
   EXPECT_TRUE(std::set<int>(covered.begin(), covered.end()).size() ==
@@ -164,7 +164,7 @@ TEST(BatchPlanTest, MembershipFixedAcrossEpochRotations) {
 
   // Epoch 0 is the build order; every later epoch is a permutation of the
   // same batch indices — membership never changes, only visit order.
-  const std::vector<int> members0 = plan.item(0).members;
+  const std::vector<int> members0 = plan.item(0).members();
   const std::vector<int> epoch0 = plan.next_epoch_batch_order();
   std::vector<int> identity(static_cast<std::size_t>(plan.num_batches()));
   for (std::size_t i = 0; i < identity.size(); ++i) {
@@ -178,7 +178,7 @@ TEST(BatchPlanTest, MembershipFixedAcrossEpochRotations) {
     std::sort(sorted.begin(), sorted.end());
     EXPECT_EQ(sorted, identity);  // a permutation of the fixed batches
     if (order != identity) reshuffled = true;
-    EXPECT_EQ(plan.item(0).members, members0);
+    EXPECT_EQ(plan.item(0).members(), members0);
   }
   EXPECT_TRUE(reshuffled);  // rotation shuffles order (seed 42, 6 batches)
 }
