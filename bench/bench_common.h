@@ -50,6 +50,16 @@ struct BenchConfig {
                                 // flag parser is int-wide; ~35min max)
   int clients = 8;              // concurrent submitter threads
   int requests = 64;            // requests per client thread
+  // Open-loop saturation knobs (bench_serving; see serve/scheduler.h).
+  double arrival_rate = 0.0;    // base offered load in requests/sec for the
+                                // open-loop sweep (0 = auto: the measured
+                                // sequential predict() capacity)
+  int deadline_us = 0;          // per-request deadline for the open-loop
+                                // sweep (0 = auto: 50x sequential us/graph)
+  int priority = 0;             // priority attached to open-loop requests
+  int workers = 0;              // shared-scheduler worker threads (0 = one
+                                // per served metric: equal thread budget
+                                // with the per-metric batcher baseline)
   // DSE knobs (bench_dse; see dse/design_space.h + dse/explorer.h).
   int dse_points = 48;          // design-space size floor (grid_with_at_least)
   int dse_topk = 0;             // ground-truth budget (0 = max(1, points/4))
@@ -96,6 +106,16 @@ inline void print_bench_usage(std::ostream& os) {
         "  --batch-window-us=N    longest wait for co-batchable traffic\n"
         "  --clients=N            concurrent submitter threads\n"
         "  --requests=N           requests per client thread\n"
+        "  --arrival-rate=R       open-loop base offered load, requests/sec\n"
+        "                         (0 = measured sequential capacity; the\n"
+        "                         sweep offers 0.5x/1x/2x/4x of this base)\n"
+        "  --deadline-us=N        open-loop per-request deadline (0 = 50x\n"
+        "                         the sequential us/graph; requests past it\n"
+        "                         are shed by the scheduler arm)\n"
+        "  --priority=N           priority attached to open-loop requests\n"
+        "  --workers=N            shared-scheduler worker pool size (0 =\n"
+        "                         one per metric, matching the per-metric\n"
+        "                         batcher baseline's thread budget)\n"
         "dse flags (bench_dse):\n"
         "  --dse-points=N         minimum design-space size (the knob grid\n"
         "                         grows deterministically to at least N)\n"
@@ -151,6 +171,10 @@ inline BenchConfig parse_bench_config(int argc, const char* const* argv) {
   cfg.batch_window_us = flags.get_int("batch-window-us", cfg.batch_window_us);
   cfg.clients = flags.get_int("clients", cfg.clients);
   cfg.requests = flags.get_int("requests", cfg.requests);
+  cfg.arrival_rate = flags.get_double("arrival-rate", cfg.arrival_rate);
+  cfg.deadline_us = flags.get_int("deadline-us", cfg.deadline_us);
+  cfg.priority = flags.get_int("priority", cfg.priority);
+  cfg.workers = flags.get_int("workers", cfg.workers);
   cfg.dse_points = flags.get_int("dse-points", cfg.dse_points);
   cfg.dse_topk = flags.get_int("dse-topk", cfg.dse_topk);
   cfg.json_path = flags.get_string("json", "");

@@ -186,7 +186,7 @@ int run(int argc, const char* const* argv) {
                rank_quality(exh, Metric::kLut) >= 0.7);
 
   // ----- serving-path bit-identity (hard gate) -----
-  ServeConfig sc;
+  SchedulerConfig sc;
   sc.max_batch = cfg.max_batch;
   sc.batch_window_us = cfg.batch_window_us;
   sc.arena = cfg.arena;
@@ -195,7 +195,7 @@ int run(int argc, const char* const* argv) {
   const Explorer served_explorer(space, serving, dse);
   const bool serving_identical =
       same_exploration(sh, served_explorer.successive_halving());
-  checks.check("ServingBatcher scoring bit-identical to predict_many",
+  checks.check("shared-scheduler scoring bit-identical to predict_many",
                serving_identical);
 
   // ----- exploration throughput: --threads x --max-batch -----
@@ -215,7 +215,7 @@ int run(int argc, const char* const* argv) {
   for (int threads : thread_counts) {
     ThreadPool::set_global_threads(threads);
     for (int max_batch : batch_sizes) {
-      ServeConfig row_sc;
+      SchedulerConfig row_sc;
       row_sc.max_batch = max_batch;
       row_sc.batch_window_us = cfg.batch_window_us;
       row_sc.arena = cfg.arena;

@@ -47,33 +47,30 @@ std::vector<Metric> PredictorScorer::metrics() const {
 
 ServingScorer::ServingScorer(
     std::vector<std::pair<Metric, const QorPredictor*>> models,
-    ServeConfig cfg) {
-  batchers_.reserve(models.size());
+    SchedulerConfig cfg) {
+  std::vector<const QorPredictor*> predictors;
+  predictors.reserve(models.size());
+  metrics_.reserve(models.size());
   for (const auto& [metric, predictor] : models) {
     GNNHLS_CHECK(predictor != nullptr, "ServingScorer: null predictor");
-    batchers_.emplace_back(metric,
-                           std::make_unique<ServingBatcher>(*predictor, cfg));
+    metrics_.push_back(metric);
+    predictors.push_back(predictor);
   }
+  sched_ = std::make_unique<ServingScheduler>(std::move(predictors), cfg);
 }
 
 std::vector<double> ServingScorer::score(
     Metric metric, const std::vector<const Sample*>& samples) const {
-  for (const auto& [m, batcher] : batchers_) {
-    if (m == metric) return batcher->predict_many(samples);
+  for (std::size_t i = 0; i < metrics_.size(); ++i) {
+    if (metrics_[i] == metric) {
+      return sched_->predict_many(static_cast<int>(i), samples);
+    }
   }
   throw std::invalid_argument("ServingScorer: no model for metric " +
                               metric_name(metric));
 }
 
-std::vector<Metric> ServingScorer::metrics() const {
-  std::vector<Metric> out;
-  out.reserve(batchers_.size());
-  for (const auto& [m, batcher] : batchers_) {
-    (void)batcher;
-    out.push_back(m);
-  }
-  return out;
-}
+std::vector<Metric> ServingScorer::metrics() const { return metrics_; }
 
 // ----- explorer -----
 

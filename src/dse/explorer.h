@@ -29,7 +29,7 @@
 #include "core/predictor.h"
 #include "dse/design_space.h"
 #include "dse/pareto.h"
-#include "serve/serving_batcher.h"
+#include "serve/scheduler.h"
 
 namespace gnnhls {
 
@@ -95,23 +95,34 @@ class PredictorScorer : public Scorer {
   std::vector<std::pair<Metric, const QorPredictor*>> models_;
 };
 
-/// Scores through the async serving path: one ServingBatcher per metric
-/// (multi-model serving), exercising submit/micro-batch/scatter under DSE
-/// load. Values are bit-identical to PredictorScorer by the serving
-/// contract. Predictors are borrowed and must outlive the scorer.
+/// Scores through the async serving path: ONE shared-queue
+/// ServingScheduler carrying every metric's model (multi-model serving),
+/// exercising submit/micro-batch/scatter under DSE load. Historically this
+/// spun one ServingBatcher worker thread per metric — a 4-thread tax for
+/// 4-metric scoring; the shared queue serves all metrics from a single
+/// small worker pool (cfg.workers, default 1). Values are bit-identical to
+/// PredictorScorer by the serving contract. Predictors are borrowed and
+/// must outlive the scorer.
 class ServingScorer : public Scorer {
  public:
+  /// `cfg.workers`/`max_batch`/`batch_window_us`/`adaptive_window`/`arena`
+  /// apply to the shared scheduler; admission knobs (max_queue, deadlines)
+  /// are left off — DSE scoring must answer every sample.
   ServingScorer(std::vector<std::pair<Metric, const QorPredictor*>> models,
-                ServeConfig cfg = {});
+                SchedulerConfig cfg = {});
 
   std::vector<double> score(
       Metric metric,
       const std::vector<const Sample*>& samples) const override;
   std::vector<Metric> metrics() const override;
 
+  /// Scheduler counters (per_model_completed is in metrics() order).
+  SchedStats serving_stats() const { return sched_->stats(); }
+
  private:
-  // unique_ptr: ServingBatcher owns a worker thread and is not movable.
-  std::vector<std::pair<Metric, std::unique_ptr<ServingBatcher>>> batchers_;
+  std::vector<Metric> metrics_;  // model id == index into this vector
+  // unique_ptr: ServingScheduler owns worker threads and is not movable.
+  std::unique_ptr<ServingScheduler> sched_;
 };
 
 struct DseConfig {

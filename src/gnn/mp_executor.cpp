@@ -22,18 +22,25 @@ std::vector<float> segment_inverse_counts(const SegmentPartition& part) {
 
 Var mp_aggregate_sum(Tape& t, const GraphTensors& gt, const Var& x,
                      bool fused) {
-  if (gt.src.empty()) return t.affine(x, 0.0F, 0.0F);
+  if (gt.src.empty()) {
+    if (fused) ++mp_detail::thread_fused_fallback_slot();
+    return t.affine(x, 0.0F, 0.0F);
+  }
   if (fused && have_edge_parts(gt)) {
     return t.fused_gather_scatter_add(x, gt.src, gt.dst, gt.num_nodes,
                                       gt.src_part, gt.dst_part);
   }
+  if (fused) ++mp_detail::thread_fused_fallback_slot();
   return t.scatter_add_rows(t.gather_rows(x, gt.src, gt.src_part), gt.dst,
                             gt.num_nodes, gt.dst_part);
 }
 
 Var mp_aggregate_mean(Tape& t, const GraphTensors& gt, const Var& x,
                       bool fused) {
-  if (gt.src.empty()) return t.affine(x, 0.0F, 0.0F);
+  if (gt.src.empty()) {
+    if (fused) ++mp_detail::thread_fused_fallback_slot();
+    return t.affine(x, 0.0F, 0.0F);
+  }
   if (fused && have_edge_parts(gt)) {
     // segment_mean = scatter_add then scale_rows(1/count); the fused node
     // replaces the scatter_add half, the scale_rows half is unchanged (its
@@ -43,6 +50,7 @@ Var mp_aggregate_mean(Tape& t, const GraphTensors& gt, const Var& x,
                                    gt.src_part, gt.dst_part),
         segment_inverse_counts(*gt.dst_part));
   }
+  if (fused) ++mp_detail::thread_fused_fallback_slot();
   return t.segment_mean(t.gather_rows(x, gt.src, gt.src_part), gt.dst,
                         gt.num_nodes, gt.dst_part);
 }
@@ -52,13 +60,17 @@ Var mp_gcn_propagate(Tape& t, const GraphTensors& gt, const Var& x,
   // The self term is created before the message chain in both strategies so
   // the backward pass accumulates into x's sink in the same op order.
   Var self = t.scale_rows(x, gt.gcn_self_coeff);
-  if (gt.src.empty()) return self;
+  if (gt.src.empty()) {
+    if (fused) ++mp_detail::thread_fused_fallback_slot();
+    return self;
+  }
   if (fused && have_edge_parts(gt)) {
     const Var msgs =
         t.fused_gather_scatter_add(x, gt.src, gt.dst, gt.num_nodes,
                                    gt.src_part, gt.dst_part, gt.gcn_coeff);
     return t.add(msgs, self);
   }
+  if (fused) ++mp_detail::thread_fused_fallback_slot();
   const Var msgs =
       t.scale_rows(t.gather_rows(x, gt.src, gt.src_part), gt.gcn_coeff);
   return t.add(
@@ -105,6 +117,7 @@ Var mp_relational_aggregate(
       agg = mean_normalize ? t.scale_rows(summed, segment_inverse_counts(*dp))
                            : summed;
     } else {
+      if (fused) ++mp_detail::thread_fused_fallback_slot();
       const Var msgs = lin.forward(t, t.gather_rows(h, *srcs, sp));
       agg = mean_normalize
                 ? t.segment_mean(msgs, *dsts, gt.num_nodes, dp)

@@ -19,6 +19,7 @@
 // fused matmul path folds the weight only).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -26,6 +27,26 @@
 #include "nn/layers.h"
 
 namespace gnnhls {
+
+namespace mp_detail {
+
+/// Running tally of fused-path requests that fell back to the reference
+/// composition on this thread (missing partitions, empty edge set, biased
+/// relation Linear). Diagnostics only; a plain thread_local increment.
+inline std::uint64_t& thread_fused_fallback_slot() {
+  thread_local std::uint64_t count = 0;
+  return count;
+}
+
+}  // namespace mp_detail
+
+/// Fused-executor fallbacks taken on this thread so far. Sample before/after
+/// a region (the serving scheduler does this per micro-batch forward) to see
+/// whether fused=true is actually running fused — a silent fallback is a
+/// perf regression, not an error, so it must be observable in stats.
+inline std::uint64_t thread_fused_fallbacks() {
+  return mp_detail::thread_fused_fallback_slot();
+}
 
 /// out_v = sum_{(u,v) in E} x_u. Empty edge set yields zeros (shape of x).
 Var mp_aggregate_sum(Tape& t, const GraphTensors& gt, const Var& x,

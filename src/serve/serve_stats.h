@@ -1,7 +1,9 @@
-// Counters published by the ServingBatcher (see serve/serving_batcher.h).
+// Counters published by the serving tier: ServeStats by the ServingBatcher
+// facade (see serve/serving_batcher.h), SchedStats by the shared-queue
+// ServingScheduler underneath it (see serve/scheduler.h).
 //
-// A ServeStats value is a consistent snapshot: every field was read under
-// the batcher's queue lock in one critical section, so invariants like
+// A stats value is a consistent snapshot: every field was read under the
+// scheduler's queue lock in one critical section, so invariants like
 // `completed <= submitted` and `flush_full + flush_timeout + flush_drain ==
 // batches` hold within a single snapshot. Snapshots are plain values —
 // copy, diff and print them freely (bench_serving diffs two snapshots to
@@ -9,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 namespace gnnhls {
 
@@ -31,6 +34,18 @@ struct ServeStats {
   std::uint64_t flush_drain = 0;
   /// Largest micro-batch served so far (<= configured max_batch).
   int max_batch_seen = 0;
+  /// ArenaAllocator heap-path allocations made by batch forwards (the
+  /// thread_matrix_heap_allocs() delta across each forward, summed). With
+  /// arena=true this should read ~0 in steady state — a nonzero drift means
+  /// tape temporaries are escaping the scratch arena, silently re-paying
+  /// the allocator churn the arena exists to remove.
+  std::uint64_t heap_allocs = 0;
+  /// Fused-executor fallbacks taken by batch forwards (the
+  /// thread_fused_fallbacks() delta across each forward, summed). With
+  /// fused=true this should read 0 for partition-cached graphs — a nonzero
+  /// count means the "fused" serving path is silently running the
+  /// reference composition (a perf regression stats must surface).
+  std::uint64_t fused_fallbacks = 0;
 
   /// Mean graphs per forward pass — the amortization the batcher exists to
   /// create (1.0 means every request paid a full forward on its own).
@@ -38,6 +53,62 @@ struct ServeStats {
     return batches == 0
                ? 0.0
                : static_cast<double>(completed) / static_cast<double>(batches);
+  }
+};
+
+/// Snapshot of the shared-queue multi-model scheduler. Same consistency
+/// rules as ServeStats; the extra fields cover admission control, shedding
+/// and the adaptive batch window.
+struct SchedStats {
+  /// Requests accepted into the queue (excludes every rejection below).
+  std::uint64_t submitted = 0;
+  /// Requests whose micro-batch forward has run (counted before their
+  /// promises are fulfilled).
+  std::uint64_t completed = 0;
+  /// Completed requests that were answered by their deadline (requests
+  /// without a deadline always count). completed - completed_in_deadline
+  /// is the "served but late" tail; goodput uses this field.
+  std::uint64_t completed_in_deadline = 0;
+  /// Rejections at submit(): deadline already expired on arrival, ...
+  std::uint64_t shed_expired = 0;
+  /// ... queue at max_queue capacity (admission control), ...
+  std::uint64_t shed_capacity = 0;
+  /// ... or scheduler already shut down.
+  std::uint64_t rejected_shutdown = 0;
+  /// Accepted requests whose deadline expired while queued; failed fast
+  /// with SchedReject(kExpired) instead of wasting a forward (load
+  /// shedding under overload).
+  std::uint64_t shed_in_queue = 0;
+  /// Forward passes run / window-close reasons (as in ServeStats).
+  std::uint64_t batches = 0;
+  std::uint64_t flush_full = 0;
+  std::uint64_t flush_timeout = 0;
+  std::uint64_t flush_drain = 0;
+  int max_batch_seen = 0;
+  /// Adaptive batch window at snapshot time, and how often the rule moved
+  /// it (grow under backlog, shrink when the queue drains; see
+  /// serve/scheduler.h AdaptiveWindow).
+  std::int64_t window_us = 0;
+  std::uint64_t window_grows = 0;
+  std::uint64_t window_shrinks = 0;
+  /// Per-forward thread_matrix_heap_allocs() / thread_fused_fallbacks()
+  /// deltas, summed (see ServeStats for why these must be observable).
+  std::uint64_t heap_allocs = 0;
+  std::uint64_t fused_fallbacks = 0;
+  /// Requests completed per registered model, in model-id order (the
+  /// multi-model fairness observable).
+  std::vector<std::uint64_t> per_model_completed;
+
+  double avg_batch() const {
+    return batches == 0
+               ? 0.0
+               : static_cast<double>(completed) / static_cast<double>(batches);
+  }
+  /// Everything dropped instead of served (expired at submit, over
+  /// capacity, expired in queue). Excludes rejected_shutdown: those are
+  /// caller errors, not load shedding.
+  std::uint64_t shed_total() const {
+    return shed_expired + shed_capacity + shed_in_queue;
   }
 };
 

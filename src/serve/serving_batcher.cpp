@@ -1,151 +1,63 @@
 #include "serve/serving_batcher.h"
 
-#include <algorithm>
-#include <stdexcept>
 #include <utility>
-
-#include "support/arena.h"
-#include "support/check.h"
 
 namespace gnnhls {
 
-ServingBatcher::ServingBatcher(const QorPredictor& predictor, ServeConfig cfg)
-    : predictor_(predictor), cfg_(cfg) {
-  GNNHLS_CHECK(cfg_.max_batch >= 1, "ServeConfig: max_batch must be >= 1");
-  GNNHLS_CHECK(cfg_.batch_window_us >= 0,
-               "ServeConfig: batch_window_us must be >= 0");
-  worker_ = std::thread(&ServingBatcher::worker_loop, this);
+SchedulerConfig ServingBatcher::to_scheduler_config(const ServeConfig& cfg) {
+  SchedulerConfig sc;
+  sc.workers = 1;
+  sc.max_batch = cfg.max_batch;
+  sc.batch_window_us = cfg.batch_window_us;
+  // The historical batcher window is static: pin the adaptive rule off so
+  // a lone request still waits the full configured window (serve_test
+  // asserts the exact flush-reason sequence).
+  sc.adaptive_window = false;
+  sc.arena = cfg.arena;
+  sc.record_latencies = cfg.record_latencies;
+  return sc;
 }
 
-ServingBatcher::~ServingBatcher() { shutdown(); }
+ServingBatcher::ServingBatcher(const QorPredictor& predictor, ServeConfig cfg)
+    : cfg_(cfg), sched_({&predictor}, to_scheduler_config(cfg)) {}
 
 std::future<double> ServingBatcher::submit(const Sample& sample) {
-  std::promise<double> promise;
-  std::future<double> future = promise.get_future();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (stop_) {
-      promise.set_exception(std::make_exception_ptr(
-          std::runtime_error("ServingBatcher: submit after shutdown")));
-      return future;
-    }
-    queue_.push_back(Request{&sample, std::move(promise),
-                             std::chrono::steady_clock::now()});
-    ++stats_.submitted;
-  }
-  queue_cv_.notify_one();  // single worker; it re-checks size and deadline
-  return future;
+  return sched_.submit(0, sample).future;
+}
+
+std::future<double> ServingBatcher::submit(
+    std::shared_ptr<const Sample> sample) {
+  return sched_.submit(0, std::move(sample)).future;
+}
+
+std::future<double> ServingBatcher::submit(Sample&& sample) {
+  return sched_.submit(0, std::move(sample)).future;
 }
 
 std::vector<double> ServingBatcher::predict_many(
     const std::vector<const Sample*>& samples) {
-  std::vector<std::future<double>> futures;
-  futures.reserve(samples.size());
-  for (const Sample* s : samples) {
-    GNNHLS_CHECK(s != nullptr, "predict_many: null sample");
-    futures.push_back(submit(*s));
-  }
-  std::vector<double> out;
-  out.reserve(futures.size());
-  for (std::future<double>& f : futures) out.push_back(f.get());
+  return sched_.predict_many(0, samples);
+}
+
+void ServingBatcher::shutdown() { sched_.shutdown(); }
+
+ServeStats ServingBatcher::stats() const {
+  const SchedStats s = sched_.stats();
+  ServeStats out;
+  out.submitted = s.submitted;
+  out.completed = s.completed;
+  out.batches = s.batches;
+  out.flush_full = s.flush_full;
+  out.flush_timeout = s.flush_timeout;
+  out.flush_drain = s.flush_drain;
+  out.max_batch_seen = s.max_batch_seen;
+  out.heap_allocs = s.heap_allocs;
+  out.fused_fallbacks = s.fused_fallbacks;
   return out;
 }
 
-void ServingBatcher::shutdown() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stop_ = true;
-  }
-  queue_cv_.notify_all();
-  std::lock_guard<std::mutex> join_lock(join_mu_);
-  if (worker_.joinable()) worker_.join();
-}
-
-ServeStats ServingBatcher::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
-}
-
-void ServingBatcher::run_batch(std::vector<Request>& batch,
-                               FlushReason reason) {
-  std::vector<const Sample*> parts;
-  parts.reserve(batch.size());
-  for (const Request& r : batch) parts.push_back(r.sample);
-  std::vector<double> pred;
-  std::exception_ptr error;
-  try {
-    // One forward's worth of tape temporaries per arena reset; the returned
-    // doubles use std::allocator and survive the scope.
-    const ArenaScope scratch(cfg_.arena ? &thread_scratch_arena() : nullptr);
-    pred = predictor_.predict_many(parts);
-  } catch (...) {
-    error = std::current_exception();
-  }
-  // Count the whole batch — flush reason included — in ONE locked update,
-  // BEFORE fulfilling the promises: snapshots keep the invariant
-  // flush_full + flush_timeout + flush_drain == batches even mid-forward,
-  // and a caller whose future.get() has returned always observes its own
-  // request in stats() (serve_test relies on this ordering).
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.batches;
-    switch (reason) {
-      case FlushReason::kFull: ++stats_.flush_full; break;
-      case FlushReason::kTimeout: ++stats_.flush_timeout; break;
-      case FlushReason::kDrain: ++stats_.flush_drain; break;
-    }
-    stats_.completed += batch.size();
-    stats_.max_batch_seen =
-        std::max(stats_.max_batch_seen, static_cast<int>(batch.size()));
-  }
-  if (error) {
-    // predict_many throws before computing anything, so failing the whole
-    // micro-batch with the same exception is consistent.
-    for (Request& r : batch) r.promise.set_exception(error);
-  } else {
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      batch[i].promise.set_value(pred[i]);
-    }
-  }
-}
-
-void ServingBatcher::worker_loop() {
-  std::unique_lock<std::mutex> lock(mu_);
-  for (;;) {
-    queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-    if (queue_.empty()) {
-      if (stop_) return;  // drained: every accepted request was answered
-      continue;
-    }
-    // Window: wait for co-batchable traffic until max_batch requests are
-    // queued or batch_window_us after the oldest request arrived, whichever
-    // comes first. Shutdown closes the window immediately (drain).
-    const auto deadline =
-        queue_.front().enqueued +
-        std::chrono::microseconds(cfg_.batch_window_us);
-    while (!stop_ && static_cast<int>(queue_.size()) < cfg_.max_batch) {
-      if (queue_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
-        break;
-      }
-    }
-
-    const std::size_t take = std::min(
-        queue_.size(), static_cast<std::size_t>(cfg_.max_batch));
-    std::vector<Request> batch;
-    batch.reserve(take);
-    for (std::size_t i = 0; i < take; ++i) {
-      batch.push_back(std::move(queue_.front()));
-      queue_.pop_front();
-    }
-    const FlushReason reason = static_cast<int>(take) >= cfg_.max_batch
-                                   ? FlushReason::kFull
-                                   : (stop_ ? FlushReason::kDrain
-                                            : FlushReason::kTimeout);
-
-    lock.unlock();
-    run_batch(batch, reason);  // the one forward pass; promises fulfilled
-    lock.lock();
-  }
+std::vector<double> ServingBatcher::take_latencies_us() {
+  return sched_.take_latencies_us();
 }
 
 }  // namespace gnnhls

@@ -1,5 +1,6 @@
 // Asynchronous micro-batching inference front-end (the ROADMAP's "serving
-// batcher").
+// batcher") — since the shared-queue scheduler landed, a thin single-model
+// facade over ServingScheduler (serve/scheduler.h).
 //
 // DSE loops score thousands of candidate designs per search step, usually
 // from several concurrent searcher threads, each holding one graph at a
@@ -11,6 +12,13 @@
 // requests or batch_window_us microseconds, whichever closes first), runs
 // ONE QorPredictor::predict_many forward over the disjoint union, and
 // scatters the per-member predictions back to each caller's promise.
+//
+// The facade pins the scheduler to one model, one worker, and a static
+// (non-adaptive) window, which reproduces the historical batcher behavior
+// exactly: same window-close reasons, same drain-on-shutdown guarantee,
+// same submit-after-shutdown error. Callers that want multi-model sharing,
+// deadlines, priorities, adaptive windows or admission control use the
+// scheduler directly.
 //
 // Determinism contract: a served prediction is bit-identical to
 // QorPredictor::predict on the same sample and trained model, regardless of
@@ -26,16 +34,13 @@
 // answered before the worker exits.
 #pragma once
 
-#include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <future>
-#include <mutex>
-#include <thread>
+#include <memory>
 #include <vector>
 
 #include "core/predictor.h"
+#include "serve/scheduler.h"
 #include "serve/serve_stats.h"
 
 namespace gnnhls {
@@ -56,6 +61,10 @@ struct ServeConfig {
   /// thread's scratch arena, reset between micro-batches (support/arena.h).
   /// Execution-only: served values are unchanged.
   bool arena = false;
+  /// Record per-request submit->answer latency for take_latencies_us()
+  /// (bench_serving's open-loop mode only; unbounded memory under
+  /// unbounded traffic).
+  bool record_latencies = false;
 };
 
 class ServingBatcher {
@@ -66,16 +75,21 @@ class ServingBatcher {
   explicit ServingBatcher(const QorPredictor& predictor, ServeConfig cfg = {});
 
   /// Drains and joins (equivalent to shutdown()).
-  ~ServingBatcher();
+  ~ServingBatcher() = default;
 
   ServingBatcher(const ServingBatcher&) = delete;
   ServingBatcher& operator=(const ServingBatcher&) = delete;
 
   /// Enqueues one sample and returns the future for its decoded QoR
-  /// prediction. `sample` is borrowed: it must stay alive until the future
-  /// is ready. After shutdown() the returned future holds a
-  /// std::runtime_error instead of blocking forever.
+  /// prediction. The const& overload borrows: `sample` must stay alive
+  /// until the future is ready. The shared_ptr overload hands off
+  /// ownership, and the rvalue overload moves the sample into shared
+  /// ownership — neither deep-copies the node/edge tensors. After
+  /// shutdown() the returned future holds a std::runtime_error instead of
+  /// blocking forever.
   std::future<double> submit(const Sample& sample);
+  std::future<double> submit(std::shared_ptr<const Sample> sample);
+  std::future<double> submit(Sample&& sample);
 
   /// Blocking convenience: submits every sample, waits for all futures and
   /// returns the predictions in input order. Safe from many threads at
@@ -90,36 +104,16 @@ class ServingBatcher {
   /// Consistent snapshot of the serving counters (see serve_stats.h).
   ServeStats stats() const;
 
+  /// Drains the recorded latencies (cfg.record_latencies only).
+  std::vector<double> take_latencies_us();
+
   const ServeConfig& config() const { return cfg_; }
 
  private:
-  struct Request {
-    const Sample* sample;
-    std::promise<double> promise;
-    std::chrono::steady_clock::time_point enqueued;
-  };
+  static SchedulerConfig to_scheduler_config(const ServeConfig& cfg);
 
-  /// Why the worker closed a micro-batch window (maps onto the flush_*
-  /// counters in ServeStats).
-  enum class FlushReason { kFull, kTimeout, kDrain };
-
-  void worker_loop();
-  /// Runs one micro-batch outside the lock, records it in stats_ (one
-  /// locked update, preserving the snapshot invariants documented in
-  /// serve_stats.h) and fulfills its promises.
-  void run_batch(std::vector<Request>& batch, FlushReason reason);
-
-  const QorPredictor& predictor_;
   const ServeConfig cfg_;
-
-  mutable std::mutex mu_;
-  std::condition_variable queue_cv_;  // worker wakeup: new request / shutdown
-  std::deque<Request> queue_;
-  ServeStats stats_;
-  bool stop_ = false;
-
-  std::mutex join_mu_;  // serializes concurrent shutdown() calls
-  std::thread worker_;
+  ServingScheduler sched_;
 };
 
 }  // namespace gnnhls

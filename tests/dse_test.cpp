@@ -236,7 +236,7 @@ TEST(ExplorerTest, ServingScorerBitIdenticalToDirect) {
   const Trained& t = trained_predictors();
   const DesignSpace space = small_space();
   const PredictorScorer direct = direct_scorer();
-  ServeConfig sc;
+  SchedulerConfig sc;
   sc.max_batch = 3;  // forces uneven micro-batch splits of the 4 candidates
   sc.batch_window_us = 0;
   const ServingScorer serving(
