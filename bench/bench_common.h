@@ -60,6 +60,11 @@ struct BenchConfig {
   int workers = 0;              // shared-scheduler worker threads (0 = one
                                 // per served metric: equal thread budget
                                 // with the per-metric batcher baseline)
+  // TCP endpoint knobs (bench_serving socket arm; see serve/tcp_endpoint.h).
+  int port = 0;                 // loopback port for the socket arm (0 =
+                                // ephemeral kernel-assigned)
+  int max_inflight = 64;        // per-connection in-flight cap before the
+                                // endpoint rejects with kOverConnectionLimit
   // DSE knobs (bench_dse; see dse/design_space.h + dse/explorer.h).
   int dse_points = 48;          // design-space size floor (grid_with_at_least)
   int dse_topk = 0;             // ground-truth budget (0 = max(1, points/4))
@@ -116,6 +121,11 @@ inline void print_bench_usage(std::ostream& os) {
         "  --workers=N            shared-scheduler worker pool size (0 =\n"
         "                         one per metric, matching the per-metric\n"
         "                         batcher baseline's thread budget)\n"
+        "  --port=N               loopback port for the TCP socket arm\n"
+        "                         (0 = ephemeral)\n"
+        "  --max-inflight=N       per-connection in-flight request cap of\n"
+        "                         the TCP endpoint (over-limit requests are\n"
+        "                         rejected on the wire, never queued)\n"
         "dse flags (bench_dse):\n"
         "  --dse-points=N         minimum design-space size (the knob grid\n"
         "                         grows deterministically to at least N)\n"
@@ -175,6 +185,8 @@ inline BenchConfig parse_bench_config(int argc, const char* const* argv) {
   cfg.deadline_us = flags.get_int("deadline-us", cfg.deadline_us);
   cfg.priority = flags.get_int("priority", cfg.priority);
   cfg.workers = flags.get_int("workers", cfg.workers);
+  cfg.port = flags.get_int("port", cfg.port);
+  cfg.max_inflight = flags.get_int("max-inflight", cfg.max_inflight);
   cfg.dse_points = flags.get_int("dse-points", cfg.dse_points);
   cfg.dse_topk = flags.get_int("dse-topk", cfg.dse_topk);
   cfg.json_path = flags.get_string("json", "");

@@ -24,6 +24,16 @@
 // queueing answers everything late) while the scheduler sheds expired
 // requests and keeps serving fresh ones inside their deadline.
 //
+// Part 2.5 (socket arm): the same open-loop Poisson traffic replayed over
+// a real loopback TCP connection through serve/tcp_endpoint.h — every
+// request is text-encoded, framed, sent, decoded server-side and submitted
+// to the shared scheduler; responses return over the same socket. Reports
+// socket-path goodput and client-observed RTT percentiles next to the
+// in-process arms (the delta IS the wire tax), plus the endpoint's
+// wire-level counters. Served values must stay bit-identical through the
+// whole encode/frame/decode/schedule path — gated like every other
+// bit-identity check.
+//
 // Part 3 (hard gate): scheduled predictions must be bit-identical to
 // sequential QorPredictor::predict across batch compositions for all 14
 // encoder kinds. Like the closed-loop bit-identity check, main() exits 1 on
@@ -37,9 +47,12 @@
 #include <thread>
 
 #include "bench_common.h"
+#include "dataset/serialize.h"
 #include "gnn/encoders.h"
 #include "serve/scheduler.h"
 #include "serve/serving_batcher.h"
+#include "serve/tcp_endpoint.h"
+#include "serve/wire.h"
 
 namespace gnnhls::bench {
 namespace {
@@ -264,6 +277,115 @@ OpenLoopResult run_open_loop_scheduler(
   return r;
 }
 
+/// Arm C (socket): the same offered load replayed over a loopback TCP
+/// connection — one paced sender thread (open loop, never waits for
+/// answers) and one receiver thread collecting response frames until the
+/// endpoint's drain closes the stream. request_id indexes the arrival, so
+/// every response maps back to its (metric, pick) for the bit-identity
+/// check and its client-observed RTT.
+struct SocketResult {
+  OpenLoopResult ol;
+  WireStats wire;
+};
+
+SocketResult run_open_loop_socket(
+    const std::vector<const QorPredictor*>& models,
+    const std::vector<Sample>& samples, const std::vector<int>& idx,
+    const std::vector<std::vector<double>>& expected,
+    const std::vector<Arrival>& arrivals, SchedulerConfig sc,
+    std::int64_t deadline_us, int priority, int port, int max_inflight) {
+  ServingScheduler sched(models, sc);
+  TcpEndpointConfig ecfg;
+  ecfg.port = port;
+  ecfg.max_inflight = max_inflight;
+  TcpEndpoint ep(sched, ecfg);
+
+  // Payload encoding is per-sample, not per-request — encode each test
+  // sample once and reuse (the server still decodes every frame).
+  std::vector<std::string> payloads;
+  payloads.reserve(idx.size());
+  for (int i : idx) {
+    payloads.push_back(
+        encode_sample_payload(samples[static_cast<std::size_t>(i)]));
+  }
+
+  TcpClient client(ep.port());
+  const auto epoch = std::chrono::steady_clock::now();
+  const auto us_since_epoch = [&epoch] {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - epoch)
+        .count();
+  };
+  std::vector<std::int64_t> sent_us(arrivals.size(), 0);
+  std::vector<ResponseFrame> responses;
+  std::vector<std::int64_t> recv_us;
+  responses.reserve(arrivals.size());
+  recv_us.reserve(arrivals.size());
+  std::thread receiver([&] {
+    ResponseFrame resp;
+    while (client.recv_response(resp)) {
+      responses.push_back(resp);
+      recv_us.push_back(us_since_epoch());
+    }
+  });
+
+  Timer wall;
+  std::size_t next_id = 0;
+  replay_arrivals(arrivals, [&](const Arrival& a) {
+    RequestFrame req;
+    req.request_id = next_id;
+    req.model = static_cast<std::uint32_t>(a.metric);
+    req.priority = priority;
+    req.deadline_us = deadline_us;
+    req.payload = payloads[a.pick];
+    sent_us[next_id] = us_since_epoch();
+    ++next_id;
+    (void)client.send_request(req);
+  });
+  // Half-close: the endpoint drains everything it accepted, answers, then
+  // FINs — the receiver exits on that EOF with every response in hand.
+  client.shutdown_write();
+  receiver.join();
+  SocketResult res;
+  res.ol.wall_s = wall.seconds();
+  ep.stop();
+  res.wire = ep.stats();
+  sched.shutdown();
+
+  std::vector<double> lat;
+  lat.reserve(responses.size());
+  std::uint64_t served_ok = 0;
+  std::uint64_t shed = 0;
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    const ResponseFrame& r = responses[i];
+    const Arrival& a = arrivals[static_cast<std::size_t>(r.request_id)];
+    if (r.result == WireResult::kOk) {
+      ++served_ok;
+      lat.push_back(static_cast<double>(
+          recv_us[i] - sent_us[static_cast<std::size_t>(r.request_id)]));
+      if (r.prediction != expected[static_cast<std::size_t>(a.metric)][a.pick]) {
+        res.ol.bit_identical = false;
+      }
+    } else {
+      ++shed;  // expired/over-capacity/over-limit: rejected on the wire
+    }
+  }
+  fill_percentiles(lat, res.ol);
+  // Goodput uses the server-side deadline accounting (same definition as
+  // the in-process scheduler arm, so the delta is purely the wire path).
+  const SchedStats st = sched.stats();
+  res.ol.goodput_per_s =
+      res.ol.wall_s > 0.0
+          ? static_cast<double>(st.completed_in_deadline) / res.ol.wall_s
+          : 0.0;
+  res.ol.shed_rate = arrivals.empty()
+                         ? 0.0
+                         : static_cast<double>(shed) /
+                               static_cast<double>(arrivals.size());
+  (void)served_ok;
+  return res;
+}
+
 /// Part 3: the determinism gate over the whole encoder zoo. A small fixed
 /// corpus per kind (independent of --scale so the gate cost is constant),
 /// scheduled through virtual-time mode across three batch compositions —
@@ -465,6 +587,8 @@ int run(int argc, const char* const* argv) {
   TextTable ol_table({"offered", "arm", "goodput/s", "p50 us", "p99 us",
                       "p999 us", "shed %"});
   bool open_loop_exact = true;
+  bool socket_exact = true;
+  WireStats socket_wire;  // wire counters from the 1x socket run
   std::vector<std::pair<OpenLoopResult, OpenLoopResult>> ol_results;
   for (std::size_t pi = 0; pi < rate_points.size(); ++pi) {
     const auto& [label, mult] = rate_points[pi];
@@ -498,8 +622,27 @@ int run(int argc, const char* const* argv) {
     };
     add_rows("batcher", batcher_r);
     add_rows("shared", sched_r);
+    // Socket arm at 1x (the gated goodput row) and 4x (overload behavior
+    // through the wire) — identical traffic, real loopback TCP.
+    if (label == "1x" || label == "4x") {
+      const SocketResult sock = run_open_loop_socket(
+          models, samples, idx, metric_expected, arrivals, shared_sc,
+          deadline_us, cfg.priority, cfg.port, cfg.max_inflight);
+      socket_exact &= sock.ol.bit_identical;
+      if (label == "1x") socket_wire = sock.wire;
+      add_rows("socket", sock.ol);
+    }
   }
   std::cout << ol_table.to_string() << "\n";
+  std::cout << "socket wire @1x: " << socket_wire.frames_in << " frames in / "
+            << socket_wire.frames_out << " out, "
+            << socket_wire.bytes_in << " B in / " << socket_wire.bytes_out
+            << " B out, " << socket_wire.decode_errors << " decode errors, "
+            << socket_wire.rejects_backpressure << "+"
+            << socket_wire.rejects_payload << "+"
+            << socket_wire.rejects_sched
+            << " rejects (backpressure/payload/sched), "
+            << socket_wire.write_failures << " write failures\n\n";
   write_bench_json(cfg, json_log, "serving");
 
   // ----- 14-kind scheduled bit-identity (hard gate) -----
@@ -515,6 +658,8 @@ int run(int argc, const char* const* argv) {
                all_exact);
   checks.check("open-loop served predictions bit-identical to predict()",
                open_loop_exact);
+  checks.check("socket-served predictions bit-identical to predict()",
+               socket_exact);
   checks.check("scheduled == sequential for all 14 encoder kinds",
                kinds_exact);
   if (cfg.max_batch > 1) {
@@ -550,7 +695,8 @@ int run(int argc, const char* const* argv) {
   // Only bit-identity is a hard invariant (the serving contract); the perf
   // checks above are load-dependent and stay report-only, so the CI smoke
   // gate cannot flake on scheduling noise.
-  return (all_exact && open_loop_exact && kinds_exact) ? 0 : 1;
+  return (all_exact && open_loop_exact && socket_exact && kinds_exact) ? 0
+                                                                       : 1;
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <iomanip>
 #include <limits>
 #include <sstream>
+#include <utility>
 
 namespace gnnhls {
 
@@ -38,11 +39,146 @@ void write_one(std::ostream& os, const IrGraph& g,
   os << "end\n";
 }
 
-[[noreturn]] void parse_error(const std::string& what) {
-  throw std::invalid_argument("benchmark parse error: " + what);
+[[noreturn]] void parse_error(ParseStatus status, const std::string& what) {
+  throw BenchmarkParseError(status, what);
+}
+
+/// The throwing core parser; try_read_benchmark maps its exceptions onto a
+/// ParseResult, read_benchmark lets them propagate.
+std::vector<BenchmarkRecord> read_benchmark_impl(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != kMagic) {
+    parse_error(ParseStatus::kBadHeader,
+                "bad or missing header (expected '" + std::string(kMagic) +
+                    "')");
+  }
+
+  std::vector<BenchmarkRecord> records;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream header(line);
+    std::string tag, name, kind_str;
+    int num_nodes = 0, num_edges = 0;
+    header >> tag >> name >> kind_str >> num_nodes >> num_edges;
+    if (tag != "graph" || header.fail()) {
+      parse_error(ParseStatus::kBadGraphHeader, "expected graph line");
+    }
+    if (kind_str != "dfg" && kind_str != "cdfg") {
+      parse_error(ParseStatus::kBadGraphHeader,
+                  "unknown graph kind " + kind_str);
+    }
+    if (num_nodes <= 0 || num_edges < 0) {
+      parse_error(ParseStatus::kBadGraphHeader, "bad graph dimensions");
+    }
+
+    BenchmarkRecord rec;
+    rec.origin = name;
+    rec.graph = IrGraph(
+        kind_str == "dfg" ? GraphKind::kDfg : GraphKind::kCdfg, name);
+
+    const auto read_qor = [&](const char* expect, QualityOfResult& q) {
+      if (!std::getline(is, line)) {
+        parse_error(ParseStatus::kTruncated, "truncated record");
+      }
+      std::istringstream ls(line);
+      std::string t;
+      ls >> t >> q.dsp >> q.lut >> q.ff >> q.cp_ns;
+      if (t != expect || ls.fail()) {
+        parse_error(ParseStatus::kBadQor,
+                    std::string("expected ") + expect + " line");
+      }
+    };
+    read_qor("qor", rec.truth);
+    read_qor("report", rec.hls_report);
+
+    for (int i = 0; i < num_nodes; ++i) {
+      if (!std::getline(is, line)) {
+        parse_error(ParseStatus::kTruncated, "truncated nodes");
+      }
+      std::istringstream ls(line);
+      std::string t;
+      int type = 0, opcode = 0, start = 0, is_const = 0, udsp = 0, ulut = 0,
+          uff = 0;
+      IrNode n;
+      ls >> t >> type >> opcode >> n.bitwidth >> start >> n.cluster_group >>
+          is_const >> udsp >> ulut >> uff >> n.resource.dsp >>
+          n.resource.lut >> n.resource.ff;
+      if (t != "node" || ls.fail()) {
+        parse_error(ParseStatus::kBadNode, "bad node line");
+      }
+      if (type < 0 || type >= kNumNodeGeneralTypes) {
+        parse_error(ParseStatus::kBadNode, "bad type");
+      }
+      if (opcode < 0 || opcode >= kNumOpcodes) {
+        parse_error(ParseStatus::kBadNode, "bad opcode");
+      }
+      n.type = static_cast<NodeGeneralType>(type);
+      n.opcode = static_cast<Opcode>(opcode);
+      n.is_const = is_const != 0;
+      n.resource.uses_dsp = udsp != 0;
+      n.resource.uses_lut = ulut != 0;
+      n.resource.uses_ff = uff != 0;
+      (void)start;  // recomputed by finalize()
+      try {
+        rec.graph.add_node(n);
+      } catch (const std::invalid_argument& e) {
+        parse_error(ParseStatus::kBadNode, e.what());
+      }
+    }
+    for (int i = 0; i < num_edges; ++i) {
+      if (!std::getline(is, line)) {
+        parse_error(ParseStatus::kTruncated, "truncated edges");
+      }
+      std::istringstream ls(line);
+      std::string t;
+      int src = 0, dst = 0, type = 0, back = 0;
+      ls >> t >> src >> dst >> type >> back;
+      if (t != "edge" || ls.fail()) {
+        parse_error(ParseStatus::kBadEdge, "bad edge line");
+      }
+      if (type < 0 || type >= kNumEdgeTypes) {
+        parse_error(ParseStatus::kBadEdge, "bad edge type");
+      }
+      // add_edge validates endpoints, self loops and per-kind edge rules
+      // (GNNHLS_CHECK throws std::invalid_argument); re-type its failures
+      // so corrupted wire payloads surface as kBadEdge, never as a crash.
+      try {
+        rec.graph.add_edge(src, dst, static_cast<EdgeType>(type), back != 0);
+      } catch (const std::invalid_argument& e) {
+        parse_error(ParseStatus::kBadEdge, e.what());
+      }
+    }
+    if (!std::getline(is, line) || line != "end") {
+      parse_error(ParseStatus::kTruncated, "missing end marker");
+    }
+    // finalize/build enforce whole-graph invariants (acyclic forward edges,
+    // nonempty graph); violations are structural, not line-level.
+    try {
+      rec.graph.finalize();
+      rec.tensors = GraphTensors::build(rec.graph);
+    } catch (const std::invalid_argument& e) {
+      parse_error(ParseStatus::kBadStructure, e.what());
+    }
+    records.push_back(std::move(rec));
+  }
+  return records;
 }
 
 }  // namespace
+
+std::string parse_status_name(ParseStatus s) {
+  switch (s) {
+    case ParseStatus::kOk: return "ok";
+    case ParseStatus::kBadHeader: return "bad-header";
+    case ParseStatus::kBadGraphHeader: return "bad-graph-header";
+    case ParseStatus::kBadQor: return "bad-qor";
+    case ParseStatus::kBadNode: return "bad-node";
+    case ParseStatus::kBadEdge: return "bad-edge";
+    case ParseStatus::kTruncated: return "truncated";
+    case ParseStatus::kBadStructure: return "bad-structure";
+  }
+  return "unknown";
+}
 
 void write_benchmark(std::ostream& os, const std::vector<Sample>& samples) {
   // Exact round-trip for doubles/floats.
@@ -62,88 +198,69 @@ void write_benchmark_file(const std::string& path,
 }
 
 std::vector<BenchmarkRecord> read_benchmark(std::istream& is) {
-  std::string line;
-  if (!std::getline(is, line) || line != kMagic) {
-    parse_error("bad or missing header (expected '" + std::string(kMagic) +
-                "')");
-  }
-
-  std::vector<BenchmarkRecord> records;
-  while (std::getline(is, line)) {
-    if (line.empty()) continue;
-    std::istringstream header(line);
-    std::string tag, name, kind_str;
-    int num_nodes = 0, num_edges = 0;
-    header >> tag >> name >> kind_str >> num_nodes >> num_edges;
-    if (tag != "graph" || header.fail()) parse_error("expected graph line");
-    if (kind_str != "dfg" && kind_str != "cdfg") {
-      parse_error("unknown graph kind " + kind_str);
-    }
-    if (num_nodes <= 0 || num_edges < 0) parse_error("bad graph dimensions");
-
-    BenchmarkRecord rec;
-    rec.origin = name;
-    rec.graph = IrGraph(
-        kind_str == "dfg" ? GraphKind::kDfg : GraphKind::kCdfg, name);
-
-    const auto read_qor = [&](const char* expect, QualityOfResult& q) {
-      if (!std::getline(is, line)) parse_error("truncated record");
-      std::istringstream ls(line);
-      std::string t;
-      ls >> t >> q.dsp >> q.lut >> q.ff >> q.cp_ns;
-      if (t != expect || ls.fail()) {
-        parse_error(std::string("expected ") + expect + " line");
-      }
-    };
-    read_qor("qor", rec.truth);
-    read_qor("report", rec.hls_report);
-
-    for (int i = 0; i < num_nodes; ++i) {
-      if (!std::getline(is, line)) parse_error("truncated nodes");
-      std::istringstream ls(line);
-      std::string t;
-      int type = 0, opcode = 0, start = 0, is_const = 0, udsp = 0, ulut = 0,
-          uff = 0;
-      IrNode n;
-      ls >> t >> type >> opcode >> n.bitwidth >> start >> n.cluster_group >>
-          is_const >> udsp >> ulut >> uff >> n.resource.dsp >>
-          n.resource.lut >> n.resource.ff;
-      if (t != "node" || ls.fail()) parse_error("bad node line");
-      if (type < 0 || type >= kNumNodeGeneralTypes) parse_error("bad type");
-      if (opcode < 0 || opcode >= kNumOpcodes) parse_error("bad opcode");
-      n.type = static_cast<NodeGeneralType>(type);
-      n.opcode = static_cast<Opcode>(opcode);
-      n.is_const = is_const != 0;
-      n.resource.uses_dsp = udsp != 0;
-      n.resource.uses_lut = ulut != 0;
-      n.resource.uses_ff = uff != 0;
-      (void)start;  // recomputed by finalize()
-      rec.graph.add_node(n);
-    }
-    for (int i = 0; i < num_edges; ++i) {
-      if (!std::getline(is, line)) parse_error("truncated edges");
-      std::istringstream ls(line);
-      std::string t;
-      int src = 0, dst = 0, type = 0, back = 0;
-      ls >> t >> src >> dst >> type >> back;
-      if (t != "edge" || ls.fail()) parse_error("bad edge line");
-      if (type < 0 || type >= kNumEdgeTypes) parse_error("bad edge type");
-      rec.graph.add_edge(src, dst, static_cast<EdgeType>(type), back != 0);
-    }
-    if (!std::getline(is, line) || line != "end") {
-      parse_error("missing end marker");
-    }
-    rec.graph.finalize();
-    rec.tensors = GraphTensors::build(rec.graph);
-    records.push_back(std::move(rec));
-  }
-  return records;
+  return read_benchmark_impl(is);
 }
 
 std::vector<BenchmarkRecord> read_benchmark_file(const std::string& path) {
   std::ifstream is(path);
   GNNHLS_CHECK(is.is_open(), "cannot open " + path);
   return read_benchmark(is);
+}
+
+ParseResult try_read_benchmark(std::istream& is) {
+  ParseResult out;
+  try {
+    out.records = read_benchmark_impl(is);
+  } catch (const BenchmarkParseError& e) {
+    out.status = e.status();
+    out.message = e.what();
+  }
+  return out;
+}
+
+void write_benchmark_sample(std::ostream& os, const Sample& sample) {
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << kMagic << '\n';
+  write_one(os, sample.graph(), sample.truth, sample.hls_report,
+            sample.origin);
+  GNNHLS_CHECK(static_cast<bool>(os), "benchmark write failed");
+}
+
+std::string encode_sample_payload(const Sample& sample) {
+  std::ostringstream os;
+  write_benchmark_sample(os, sample);
+  return os.str();
+}
+
+Sample sample_from_record(BenchmarkRecord&& rec) {
+  LoweredProgram prog(rec.graph.kind(), rec.graph.name());
+  prog.graph = std::move(rec.graph);
+  Sample s(std::move(prog));
+  s.tensors = std::move(rec.tensors);
+  s.truth = rec.truth;
+  s.hls_report = rec.hls_report;
+  s.origin = std::move(rec.origin);
+  return s;
+}
+
+DecodedSample decode_sample_payload(const std::string& payload) {
+  DecodedSample out;
+  std::istringstream is(payload);
+  ParseResult parsed = try_read_benchmark(is);
+  if (!parsed.ok()) {
+    out.status = parsed.status;
+    out.message = std::move(parsed.message);
+    return out;
+  }
+  if (parsed.records.size() != 1) {
+    out.status = ParseStatus::kBadStructure;
+    out.message = "payload must hold exactly one record, got " +
+                  std::to_string(parsed.records.size());
+    return out;
+  }
+  out.sample =
+      std::make_shared<Sample>(sample_from_record(std::move(parsed.records[0])));
+  return out;
 }
 
 }  // namespace gnnhls

@@ -112,4 +112,43 @@ struct SchedStats {
   }
 };
 
+/// Snapshot of the TCP endpoint's wire-level counters (serve/tcp_endpoint.h).
+/// Same consistency rule as the scheduler stats: every field is read under
+/// the endpoint's stats lock in one critical section, so within a snapshot
+/// `responses_ok + rejects_* + write_failures <= frames_in` and
+/// `frames_out + write_failures == answered frames` hold.
+struct WireStats {
+  /// Connections the accept loop handed to a reader thread / reader threads
+  /// that have fully torn down (close waits for the writer to drain, so
+  /// `closed == accepted` once the endpoint is quiesced).
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_closed = 0;
+  /// Complete request frames decoded off sockets / response frames whose
+  /// bytes were fully written back.
+  std::uint64_t frames_in = 0;
+  std::uint64_t frames_out = 0;
+  /// Payload bytes received/sent (headers + bodies, successful writes only).
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  /// Connections closed because the wire stream lost framing (bad magic,
+  /// unsupported major version, oversized length prefix, short body). One
+  /// increment per poisoned connection — after the first malformed byte the
+  /// stream is unrecoverable, so there is nothing more to count.
+  std::uint64_t decode_errors = 0;
+  /// Requests answered with kOverConnectionLimit (per-connection in-flight
+  /// cap; never submitted to the scheduler).
+  std::uint64_t rejects_backpressure = 0;
+  /// Requests answered with kBadPayload / kBadModel (decoded frame was
+  /// well-framed but unusable; never submitted to the scheduler).
+  std::uint64_t rejects_payload = 0;
+  /// Requests the scheduler rejected or shed (kExpired / kOverCapacity /
+  /// kShutdown relayed from AdmitStatus, plus in-queue expiry).
+  std::uint64_t rejects_sched = 0;
+  /// Requests answered with result kOk and a prediction.
+  std::uint64_t responses_ok = 0;
+  /// Responses that could not be written (peer hung up mid-answer). The
+  /// request was still fully served; only the answer was undeliverable.
+  std::uint64_t write_failures = 0;
+};
+
 }  // namespace gnnhls

@@ -1,0 +1,181 @@
+#include "serve/wire.h"
+
+#include <cstring>
+
+namespace gnnhls {
+
+namespace {
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v & 0xFFFFFFFFu));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint8_t get_u8(const char* p) { return static_cast<std::uint8_t>(*p); }
+
+std::uint32_t get_u32(const char* p) {
+  return static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[0])) |
+         (static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[1])) << 8) |
+         (static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[2])) << 16) |
+         (static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[3])) << 24);
+}
+
+std::uint64_t get_u64(const char* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
+}
+
+void put_header(std::string& out, std::uint8_t type, std::uint32_t body_len) {
+  put_u32(out, kWireMagic);
+  put_u8(out, kWireMajor);
+  put_u8(out, kWireMinor);
+  put_u8(out, type);
+  put_u8(out, 0);  // reserved
+  put_u32(out, body_len);
+}
+
+}  // namespace
+
+std::string wire_result_name(WireResult r) {
+  switch (r) {
+    case WireResult::kOk: return "ok";
+    case WireResult::kExpired: return "expired";
+    case WireResult::kOverCapacity: return "over-capacity";
+    case WireResult::kShutdown: return "shutdown";
+    case WireResult::kOverConnectionLimit: return "over-connection-limit";
+    case WireResult::kBadPayload: return "bad-payload";
+    case WireResult::kBadModel: return "bad-model";
+    case WireResult::kInternalError: return "internal-error";
+  }
+  return "unknown";
+}
+
+WireResult wire_result_from_admit(AdmitStatus s) {
+  switch (s) {
+    case AdmitStatus::kAccepted: return WireResult::kOk;
+    case AdmitStatus::kExpired: return WireResult::kExpired;
+    case AdmitStatus::kOverCapacity: return WireResult::kOverCapacity;
+    case AdmitStatus::kShutdown: return WireResult::kShutdown;
+  }
+  return WireResult::kInternalError;
+}
+
+std::string wire_status_name(WireStatus s) {
+  switch (s) {
+    case WireStatus::kFrame: return "frame";
+    case WireStatus::kNeedMore: return "need-more";
+    case WireStatus::kBadMagic: return "bad-magic";
+    case WireStatus::kUnsupportedMajor: return "unsupported-major";
+    case WireStatus::kBadType: return "bad-type";
+    case WireStatus::kOversized: return "oversized";
+    case WireStatus::kBadBody: return "bad-body";
+  }
+  return "unknown";
+}
+
+void append_request_frame(std::string& out, const RequestFrame& f) {
+  const std::size_t body_len = kWireRequestFixedBytes + f.payload.size();
+  out.reserve(out.size() + kWireHeaderBytes + body_len);
+  put_header(out, kWireTypeRequest, static_cast<std::uint32_t>(body_len));
+  put_u64(out, f.request_id);
+  put_u32(out, f.model);
+  put_u32(out, static_cast<std::uint32_t>(f.priority));
+  put_u64(out, static_cast<std::uint64_t>(f.deadline_us));
+  out.append(f.payload);
+}
+
+void append_response_frame(std::string& out, const ResponseFrame& f) {
+  out.reserve(out.size() + kWireHeaderBytes + kWireResponseBodyBytes);
+  put_header(out, kWireTypeResponse,
+             static_cast<std::uint32_t>(kWireResponseBodyBytes));
+  put_u64(out, f.request_id);
+  put_u32(out, static_cast<std::uint32_t>(f.result));
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(f.prediction));
+  std::memcpy(&bits, &f.prediction, sizeof(bits));
+  put_u64(out, bits);
+}
+
+std::string encode_request_frame(const RequestFrame& f) {
+  std::string out;
+  append_request_frame(out, f);
+  return out;
+}
+
+std::string encode_response_frame(const ResponseFrame& f) {
+  std::string out;
+  append_response_frame(out, f);
+  return out;
+}
+
+void WireDecoder::feed(const char* data, std::size_t n) {
+  if (wire_status_is_error(poison_)) return;  // stream already dead
+  // Compact the consumed prefix before appending so the buffer never grows
+  // past one frame + one read.
+  if (pos_ > 0) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(data, n);
+}
+
+WireStatus WireDecoder::next(DecodedFrame& out) {
+  if (wire_status_is_error(poison_)) return poison_;
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < kWireHeaderBytes) return WireStatus::kNeedMore;
+  const char* h = buf_.data() + pos_;
+  if (get_u32(h) != kWireMagic) return poison_ = WireStatus::kBadMagic;
+  const std::uint8_t major = get_u8(h + 4);
+  const std::uint8_t minor = get_u8(h + 5);
+  const std::uint8_t type = get_u8(h + 6);
+  const std::uint32_t body_len = get_u32(h + 8);
+  if (major != kWireMajor) return poison_ = WireStatus::kUnsupportedMajor;
+  if (type != kWireTypeRequest && type != kWireTypeResponse) {
+    return poison_ = WireStatus::kBadType;
+  }
+  if (body_len > max_body_) return poison_ = WireStatus::kOversized;
+  if (avail < kWireHeaderBytes + body_len) return WireStatus::kNeedMore;
+
+  const char* body = h + kWireHeaderBytes;
+  out = DecodedFrame{};
+  out.type = type;
+  out.version_minor = minor;
+  if (type == kWireTypeRequest) {
+    if (body_len < kWireRequestFixedBytes) {
+      return poison_ = WireStatus::kBadBody;
+    }
+    out.request.request_id = get_u64(body);
+    out.request.model = get_u32(body + 8);
+    out.request.priority = static_cast<std::int32_t>(get_u32(body + 12));
+    out.request.deadline_us = static_cast<std::int64_t>(get_u64(body + 16));
+    out.request.payload.assign(body + kWireRequestFixedBytes,
+                               body_len - kWireRequestFixedBytes);
+  } else {
+    if (body_len < kWireResponseBodyBytes) {
+      return poison_ = WireStatus::kBadBody;
+    }
+    out.response.request_id = get_u64(body);
+    const std::uint32_t code = get_u32(body + 8);
+    if (code > static_cast<std::uint32_t>(WireResult::kInternalError)) {
+      return poison_ = WireStatus::kBadBody;
+    }
+    out.response.result = static_cast<WireResult>(code);
+    const std::uint64_t bits = get_u64(body + 12);
+    std::memcpy(&out.response.prediction, &bits, sizeof(bits));
+  }
+  pos_ += kWireHeaderBytes + body_len;
+  return WireStatus::kFrame;
+}
+
+}  // namespace gnnhls

@@ -1,0 +1,161 @@
+// Wire protocol for the TCP serving front-end — a small length-prefixed
+// binary framing layer in front of ServingScheduler::submit.
+//
+// Every frame is a fixed 12-byte header followed by a body:
+//
+//   offset  size  field
+//   0       4     magic 0x57484E47 ("GNHW" as bytes, little-endian)
+//   4       1     version major (kWireMajor)
+//   5       1     version minor (kWireMinor)
+//   6       1     frame type (1 = request, 2 = response)
+//   7       1     reserved (written 0; decoders ignore it — minor-version
+//                 extension space)
+//   8       4     body length in bytes (u32, little-endian)
+//
+// Request body (kWireRequestFixedBytes fixed fields + variable payload):
+//
+//   0       8     request id (u64) — client-assigned, echoed in the response
+//   8       4     model id (u32)
+//   12      4     priority (i32)
+//   16      8     deadline in microseconds relative to server receipt
+//                 (i64; 0 = no deadline)
+//   24      ...   sample payload: dataset/serialize benchmark text
+//                 (encode_sample_payload — itself versioned)
+//
+// Response body (exactly kWireResponseBodyBytes):
+//
+//   0       8     request id (u64)
+//   8       4     result code (u32, WireResult)
+//   12      8     prediction (IEEE-754 double bit pattern, little-endian;
+//                 all-zero when result != kOk) — bit-exact, so the serving
+//                 determinism contract survives the wire
+//
+// All multi-byte fields are little-endian regardless of host order.
+//
+// Versioning: a decoder accepts any frame whose major version matches
+// kWireMajor — unknown *minor* versions decode (minor bumps may only use
+// the reserved byte or append response fields the old decoder never reads),
+// unknown *major* versions are rejected cleanly with kUnsupportedMajor.
+//
+// The WireDecoder is incremental: feed() arbitrary byte chunks as they
+// arrive off a socket (frames may be torn at any byte boundary) and next()
+// yields complete frames. Any malformed input — bad magic, unsupported
+// major, unknown type, a length prefix past the configured cap, or a body
+// that doesn't parse — poisons the decoder: the stream has lost framing, so
+// the connection must be closed. Decode errors never throw.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "serve/scheduler.h"
+
+namespace gnnhls {
+
+inline constexpr std::uint32_t kWireMagic = 0x57484E47u;  // "GNHW"
+inline constexpr std::uint8_t kWireMajor = 1;
+inline constexpr std::uint8_t kWireMinor = 0;
+inline constexpr std::uint8_t kWireTypeRequest = 1;
+inline constexpr std::uint8_t kWireTypeResponse = 2;
+inline constexpr std::size_t kWireHeaderBytes = 12;
+inline constexpr std::size_t kWireRequestFixedBytes = 24;
+inline constexpr std::size_t kWireResponseBodyBytes = 20;
+/// Default cap on a frame body. A hostile length prefix is rejected with
+/// kOversized before any allocation of that size happens.
+inline constexpr std::size_t kWireDefaultMaxBody = 16u << 20;  // 16 MiB
+
+/// Result code carried by a response frame. The first four values mirror
+/// AdmitStatus (scheduler admission outcomes relayed to the client); the
+/// rest are wire-level rejections the endpoint decides before a request
+/// ever reaches the scheduler.
+enum class WireResult : std::uint32_t {
+  kOk = 0,
+  kExpired = 1,       // AdmitStatus::kExpired (at submit or in queue)
+  kOverCapacity = 2,  // AdmitStatus::kOverCapacity (scheduler queue full)
+  kShutdown = 3,      // AdmitStatus::kShutdown
+  /// Per-connection backpressure: the connection already has
+  /// max_inflight unanswered requests (TcpEndpointConfig::max_inflight).
+  kOverConnectionLimit = 4,
+  /// The sample payload failed to decode (see ParseStatus for why).
+  kBadPayload = 5,
+  /// Model id out of range for the scheduler behind the endpoint.
+  kBadModel = 6,
+  /// The forward itself failed (exception out of predict_many).
+  kInternalError = 7,
+};
+
+std::string wire_result_name(WireResult r);
+WireResult wire_result_from_admit(AdmitStatus s);
+
+struct RequestFrame {
+  std::uint64_t request_id = 0;
+  std::uint32_t model = 0;
+  std::int32_t priority = 0;
+  std::int64_t deadline_us = 0;  // relative to server receipt; 0 = none
+  std::string payload;           // encode_sample_payload output
+};
+
+struct ResponseFrame {
+  std::uint64_t request_id = 0;
+  WireResult result = WireResult::kOk;
+  double prediction = 0.0;  // meaningful only when result == kOk
+};
+
+/// Appends one encoded frame to `out` (header + body).
+void append_request_frame(std::string& out, const RequestFrame& f);
+void append_response_frame(std::string& out, const ResponseFrame& f);
+std::string encode_request_frame(const RequestFrame& f);
+std::string encode_response_frame(const ResponseFrame& f);
+
+/// What WireDecoder::next produced. kFrame and kNeedMore are the live
+/// states; everything else is a poison state (see class comment).
+enum class WireStatus {
+  kFrame = 0,
+  kNeedMore,
+  kBadMagic,
+  kUnsupportedMajor,
+  kBadType,
+  kOversized,
+  kBadBody,
+};
+
+std::string wire_status_name(WireStatus s);
+inline bool wire_status_is_error(WireStatus s) {
+  return s != WireStatus::kFrame && s != WireStatus::kNeedMore;
+}
+
+/// A decoded frame: exactly one of request/response is meaningful,
+/// discriminated by `type`.
+struct DecodedFrame {
+  std::uint8_t type = 0;
+  std::uint8_t version_minor = 0;
+  RequestFrame request;
+  ResponseFrame response;
+};
+
+class WireDecoder {
+ public:
+  explicit WireDecoder(std::size_t max_body_bytes = kWireDefaultMaxBody)
+      : max_body_(max_body_bytes) {}
+
+  /// Buffers `n` bytes from the stream (any tearing, including one byte at
+  /// a time).
+  void feed(const char* data, std::size_t n);
+
+  /// Yields the next complete frame (kFrame, consumed from the buffer),
+  /// kNeedMore when the buffer holds no complete frame, or a poison status.
+  /// Once poisoned, every later call returns the same status.
+  WireStatus next(DecodedFrame& out);
+
+  /// Bytes buffered but not yet consumed by next().
+  std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::size_t max_body_;
+  std::string buf_;
+  std::size_t pos_ = 0;  // consumed prefix of buf_
+  WireStatus poison_ = WireStatus::kNeedMore;  // latched error state
+};
+
+}  // namespace gnnhls

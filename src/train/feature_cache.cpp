@@ -49,6 +49,17 @@ void FeatureCache::clear() {
   entries_.clear();
 }
 
+void FeatureCache::evict(std::uint64_t uid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.uid == uid) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 std::size_t FeatureCache::entries() const {
   std::lock_guard<std::mutex> lock(mu_);
   return entries_.size();

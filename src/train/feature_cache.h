@@ -48,6 +48,12 @@ class FeatureCache {
   /// evaluations or a live ServingBatcher that could still read them.
   void clear();
 
+  /// Drops every variant cached for one sample uid. Invalidates references
+  /// to those entries only — the TCP endpoint calls this after a decoded
+  /// request's response is written (each wire sample mints a fresh uid, so
+  /// without eviction a long-running server grows the cache per request).
+  void evict(std::uint64_t uid);
+
   std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   std::uint64_t misses() const {
     return misses_.load(std::memory_order_relaxed);

@@ -89,6 +89,145 @@ TEST(SerializeTest, RejectsCorruptOpcode) {
   EXPECT_THROW(read_benchmark(buffer), std::invalid_argument);
 }
 
+// ----- typed negative paths: corrupted/truncated/hostile buffers must
+// surface as ParseStatus values, never abort, so the serving wire path can
+// answer with a reject frame. -----
+
+/// One well-formed single-record payload to corrupt line-by-line.
+std::string good_payload() {
+  const auto samples = tiny_dataset(GraphKind::kDfg);
+  return encode_sample_payload(samples[0]);
+}
+
+ParseStatus status_of(const std::string& text) {
+  std::istringstream is(text);
+  const ParseResult r = try_read_benchmark(is);
+  // On failure no partial records may leak out.
+  if (!r.ok()) EXPECT_TRUE(r.records.empty());
+  return r.status;
+}
+
+TEST(SerializeNegativeTest, TypedStatusPerCorruption) {
+  EXPECT_EQ(status_of(""), ParseStatus::kBadHeader);
+  EXPECT_EQ(status_of("gnnhls-benchmark v2\n"), ParseStatus::kBadHeader);
+  EXPECT_EQ(status_of("gnnhls-benchmark v1\nnonsense line\n"),
+            ParseStatus::kBadGraphHeader);
+  EXPECT_EQ(status_of("gnnhls-benchmark v1\ngraph g pdg 1 0\n"),
+            ParseStatus::kBadGraphHeader);  // unknown graph kind
+  EXPECT_EQ(status_of("gnnhls-benchmark v1\ngraph g dfg -3 0\n"),
+            ParseStatus::kBadGraphHeader);  // negative dimensions
+  EXPECT_EQ(status_of("gnnhls-benchmark v1\ngraph g dfg 1 0\nqor a b c d\n"),
+            ParseStatus::kBadQor);
+  EXPECT_EQ(status_of("gnnhls-benchmark v1\ngraph g dfg 1 0\n"
+                      "qor 0 1 1 5\nreport 0 1 1 5\n"
+                      "node 99 0 32 0 0 0 0 0 0 0 0 0\nend\n"),
+            ParseStatus::kBadNode);  // node type out of range
+  EXPECT_EQ(status_of("gnnhls-benchmark v1\ngraph g dfg 2 1\n"
+                      "qor 0 1 1 5\nreport 0 1 1 5\n"
+                      "node 0 0 32 0 0 0 0 0 0 0 0 0\n"
+                      "node 0 0 32 0 0 0 0 0 0 0 0 0\n"
+                      "edge 0 7 0 0\nend\n"),
+            ParseStatus::kBadEdge);  // edge endpoint out of range
+  EXPECT_EQ(status_of("gnnhls-benchmark v1\ngraph g dfg 2 1\n"
+                      "qor 0 1 1 5\nreport 0 1 1 5\n"
+                      "node 0 0 32 0 0 0 0 0 0 0 0 0\n"
+                      "node 0 0 32 0 0 0 0 0 0 0 0 0\n"
+                      "edge 0 1 9 0\nend\n"),
+            ParseStatus::kBadEdge);  // edge type out of range
+  EXPECT_EQ(status_of("gnnhls-benchmark v1\ngraph g dfg 1 0\nqor 0 1 1 5\n"),
+            ParseStatus::kTruncated);  // ends before report line
+}
+
+TEST(SerializeNegativeTest, TruncationAtEveryLineIsTyped) {
+  // Cut a valid payload after every line: every prefix must fail with a
+  // typed status (never succeed, never abort). The header-only prefix is
+  // the empty benchmark — valid with zero records.
+  const std::string payload = good_payload();
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    if (payload[i] == '\n') {
+      lines.push_back(payload.substr(start, i - start + 1));
+      start = i + 1;
+    }
+  }
+  ASSERT_GT(lines.size(), 4U);
+  std::string prefix;
+  for (std::size_t i = 0; i + 1 < lines.size(); ++i) {
+    prefix += lines[i];
+    std::istringstream is(prefix);
+    const ParseResult r = try_read_benchmark(is);
+    if (i == 0) {
+      EXPECT_TRUE(r.ok());  // just the magic line: empty benchmark
+      EXPECT_TRUE(r.records.empty());
+    } else {
+      EXPECT_FALSE(r.ok()) << "prefix of " << i + 1 << " lines";
+      EXPECT_TRUE(r.records.empty());
+      EXPECT_FALSE(r.message.empty());
+    }
+  }
+}
+
+TEST(SerializeNegativeTest, StructuralCycleIsTyped) {
+  // Line-level syntax fine, whole-graph invariant broken: a forward-edge
+  // cycle must surface as kBadStructure (finalize re-typed, not a crash).
+  const std::string cyclic =
+      "gnnhls-benchmark v1\n"
+      "graph g dfg 2 2\n"
+      "qor 0 1 1 5\nreport 0 1 1 5\n"
+      "node 0 0 32 0 0 0 0 0 0 0 0 0\n"
+      "node 0 0 32 0 0 0 0 0 0 0 0 0\n"
+      "edge 0 1 0 0\n"
+      "edge 1 0 0 0\n"
+      "end\n";
+  EXPECT_EQ(status_of(cyclic), ParseStatus::kBadStructure);
+  // The throwing API reports the same typed status.
+  std::istringstream is(cyclic);
+  try {
+    read_benchmark(is);
+    FAIL() << "expected BenchmarkParseError";
+  } catch (const BenchmarkParseError& e) {
+    EXPECT_EQ(e.status(), ParseStatus::kBadStructure);
+  }
+}
+
+TEST(SerializeNegativeTest, DecodeSamplePayloadRoundTripAndRejects) {
+  const auto samples = tiny_dataset(GraphKind::kCdfg);
+  const std::string payload = encode_sample_payload(samples[0]);
+
+  const DecodedSample ok = decode_sample_payload(payload);
+  ASSERT_TRUE(ok.ok()) << ok.message;
+  ASSERT_NE(ok.sample, nullptr);
+  // Decoded sample is inference-ready and re-encodes bit-identically.
+  EXPECT_EQ(encode_sample_payload(*ok.sample), payload);
+  EXPECT_EQ(ok.sample->tensors.src, samples[0].tensors.src);
+  EXPECT_NE(ok.sample->uid, samples[0].uid);  // fresh identity
+
+  const DecodedSample garbage = decode_sample_payload("garbage");
+  EXPECT_FALSE(garbage.ok());
+  EXPECT_EQ(garbage.sample, nullptr);
+  EXPECT_EQ(garbage.status, ParseStatus::kBadHeader);
+
+  // A multi-record stream is a valid benchmark but NOT a valid wire
+  // payload (exactly one sample per request frame).
+  std::stringstream multi;
+  write_benchmark(multi, samples);
+  const DecodedSample too_many = decode_sample_payload(multi.str());
+  EXPECT_FALSE(too_many.ok());
+  EXPECT_EQ(too_many.status, ParseStatus::kBadStructure);
+
+  const DecodedSample none = decode_sample_payload("gnnhls-benchmark v1\n");
+  EXPECT_FALSE(none.ok());
+  EXPECT_EQ(none.status, ParseStatus::kBadStructure);  // zero records
+}
+
+TEST(SerializeNegativeTest, ParseStatusNamesAreStable) {
+  EXPECT_EQ(parse_status_name(ParseStatus::kOk), "ok");
+  EXPECT_EQ(parse_status_name(ParseStatus::kBadHeader), "bad-header");
+  EXPECT_EQ(parse_status_name(ParseStatus::kTruncated), "truncated");
+  EXPECT_EQ(parse_status_name(ParseStatus::kBadStructure), "bad-structure");
+}
+
 TEST(SerializeTest, FileRoundTrip) {
   const auto samples = tiny_dataset(GraphKind::kCdfg);
   const std::string path = ::testing::TempDir() + "/bench_roundtrip.txt";
