@@ -19,6 +19,8 @@
 
 #include "core/experiment.h"
 #include "dataset/dataset.h"
+#include "obs/obs_config.h"
+#include "obs/trace.h"
 #include "suites/suites.h"
 #include "support/flags.h"
 #include "support/parallel.h"
@@ -68,6 +70,13 @@ struct BenchConfig {
   // DSE knobs (bench_dse; see dse/design_space.h + dse/explorer.h).
   int dse_points = 48;          // design-space size floor (grid_with_at_least)
   int dse_topk = 0;             // ground-truth budget (0 = max(1, points/4))
+  // Observability knobs (src/obs/): --obs publishes serving/training
+  // counters into MetricsRegistry::global() and arms span emission;
+  // --trace-out additionally starts the TraceCollector and writes the
+  // Chrome trace_event JSON to the given path at bench exit. Both are
+  // execution-only (the bit-identity gates run with them on in CI).
+  bool obs = false;
+  std::string trace_out;
   std::uint64_t seed = 1;
   // Perf-trajectory artifact: when non-empty, the bench writes its result
   // table to this path as JSON (see BenchJsonLog; scripts/bench_compare.py
@@ -134,7 +143,14 @@ inline void print_bench_usage(std::ostream& os) {
         "perf tracking:\n"
         "  --json=PATH            also write the bench's result table to\n"
         "                         PATH as JSON (BENCH_<name>.json artifact;\n"
-        "                         compare runs with scripts/bench_compare.py)\n";
+        "                         compare runs with scripts/bench_compare.py)\n"
+        "observability:\n"
+        "  --obs=0|1              publish serving/training counters into the\n"
+        "                         process-wide metrics registry and arm span\n"
+        "                         emission (execution-only; values unchanged)\n"
+        "  --trace-out=PATH       capture scoped trace spans and write them\n"
+        "                         to PATH as Chrome trace_event JSON (load in\n"
+        "                         Perfetto; implies span emission)\n";
 }
 
 inline BenchConfig parse_bench_config(int argc, const char* const* argv) {
@@ -190,6 +206,8 @@ inline BenchConfig parse_bench_config(int argc, const char* const* argv) {
   cfg.dse_points = flags.get_int("dse-points", cfg.dse_points);
   cfg.dse_topk = flags.get_int("dse-topk", cfg.dse_topk);
   cfg.json_path = flags.get_string("json", "");
+  cfg.obs = flags.get_bool("obs", cfg.obs);
+  cfg.trace_out = flags.get_string("trace-out", "");
   cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   flags.warn_unconsumed(std::cerr);
   if (cfg.threads <= 0) {
@@ -233,7 +251,42 @@ inline TrainConfig train_config(const BenchConfig& cfg) {
   tc.shards = cfg.threads;
   tc.arena = cfg.arena;
   tc.seed = cfg.seed;
+  tc.obs.metrics = cfg.obs;
+  tc.obs.trace = cfg.obs || !cfg.trace_out.empty();
   return tc;
+}
+
+/// The ObsConfig the bench's --obs/--trace-out flags ask for: metrics go
+/// global with --obs; spans are armed by either flag (--trace-out without
+/// --obs still captures a trace).
+inline ObsConfig obs_config(const BenchConfig& cfg) {
+  ObsConfig oc;
+  oc.metrics = cfg.obs;
+  oc.trace = cfg.obs || !cfg.trace_out.empty();
+  return oc;
+}
+
+/// Starts the process-wide TraceCollector when --trace-out was given.
+/// Call once, before the instrumented work.
+inline void maybe_start_trace(const BenchConfig& cfg) {
+  if (cfg.trace_out.empty()) return;
+  TraceCollector::global().clear();
+  TraceCollector::global().start();
+}
+
+/// Stops the collector and writes the trace JSON (no-op without
+/// --trace-out). Call after the instrumented work has quiesced.
+inline void maybe_write_trace(const BenchConfig& cfg) {
+  if (cfg.trace_out.empty()) return;
+  TraceCollector::global().stop();
+  if (TraceCollector::global().write_json(cfg.trace_out)) {
+    std::cout << "wrote " << cfg.trace_out << " ("
+              << TraceCollector::global().event_count() << " events, "
+              << TraceCollector::global().dropped() << " dropped)\n";
+  } else {
+    std::cerr << "warning: cannot write --trace-out file " << cfg.trace_out
+              << "\n";
+  }
 }
 
 inline RunProtocol protocol(const BenchConfig& cfg) {

@@ -28,6 +28,8 @@
 #include "gnn/models.h"
 #include "hls/hls_flow.h"
 #include "nn/adam.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "progen/progen.h"
 #include "support/arena.h"
 #include "support/parallel.h"
@@ -396,6 +398,46 @@ BENCHMARK(BM_FusedEncoderForward)
     ->Args({static_cast<int>(GnnKind::kGcn), 1})
     ->Args({static_cast<int>(GnnKind::kRgcn), 0})
     ->Args({static_cast<int>(GnnKind::kRgcn), 1});
+
+/// BM_FusedEncoderForward's exact workload plus the per-batch observability
+/// work a serving worker pays with obs enabled: a trace span over the
+/// forward (gate open, collector armed-but-idle — the steady serving
+/// state), one counter increment and one latency-histogram record. CI runs
+/// this against BM_FusedEncoderForward through bench_compare.py --pair and
+/// fails the smoke job if obs costs more than 5% — the "near-zero when
+/// enabled" half of the obs contract (the disabled half is a dead branch).
+void BM_FusedEncoderForwardObs(benchmark::State& state) {
+  ThreadPool::set_global_threads(1);
+  const auto kind = static_cast<GnnKind>(state.range(0));
+  const bool arena = state.range(1) != 0;
+  const FusedBenchData& d = fused_bench_data();
+  const auto enc = fused_bench_encoder(kind, /*fused=*/true);
+  {
+    const auto ref = fused_bench_encoder(kind, /*fused=*/false);
+    die_on_mismatch(fused_bench_pass(*enc, d) == fused_bench_pass(*ref, d),
+                    "fused encoder forward (obs pair)");
+  }
+  // Private registry: the pair bench must not pollute the global scrape
+  // namespace (and repeated benchmark runs would re-register otherwise).
+  MetricsRegistry registry;
+  Counter* batches = registry.counter("bench_obs_batches_total");
+  Histogram* latency = registry.histogram("bench_obs_latency_us");
+  TraceCollector& tc = TraceCollector::global();
+  for (auto _ : state) {
+    const std::int64_t t0 = tc.now_us();
+    const ArenaScope scratch(arena ? &thread_scratch_arena() : nullptr);
+    const ObsSpan span(true, "forward", "bench");
+    benchmark::DoNotOptimize(fused_bench_pass(*enc, d).data());
+    batches->add();
+    latency->record(static_cast<std::uint64_t>(tc.now_us() - t0));
+  }
+  state.SetLabel(std::string(gnn_kind_name(kind)) +
+                 (arena ? " fused/arena+obs" : " fused/heap+obs"));
+  ThreadPool::set_global_threads(g_default_threads);
+}
+BENCHMARK(BM_FusedEncoderForwardObs)
+    ->Args({static_cast<int>(GnnKind::kGcn), 0})
+    ->Args({static_cast<int>(GnnKind::kGcn), 1});
 
 void BM_EncoderForward(benchmark::State& state) {
   LoweredProgram p = lower_to_cdfg(generate_cdfg_program(5));

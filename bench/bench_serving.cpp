@@ -298,6 +298,7 @@ SocketResult run_open_loop_socket(
   TcpEndpointConfig ecfg;
   ecfg.port = port;
   ecfg.max_inflight = max_inflight;
+  ecfg.obs = sc.obs;  // same knobs as the scheduler it fronts
   TcpEndpoint ep(sched, ecfg);
 
   // Payload encoding is per-sample, not per-request — encode each test
@@ -442,6 +443,9 @@ bool scheduled_bit_identity_all_kinds() {
 int run(int argc, const char* const* argv) {
   const BenchConfig cfg = parse_bench_config(argc, argv);
   print_header("Serving — closed-loop batching + open-loop saturation", cfg);
+  // --trace-out captures the open-loop phases as Chrome trace spans
+  // (tcp_read/frame_decode/queue_wait/batch_assembly/forward/scatter).
+  maybe_start_trace(cfg);
   std::cout << "load: " << cfg.clients << " closed-loop clients x "
             << cfg.requests << " requests, max-batch=" << cfg.max_batch
             << ", batch-window-us=" << cfg.batch_window_us << "\n";
@@ -567,12 +571,14 @@ int run(int argc, const char* const* argv) {
   batcher_sc.max_batch = cfg.max_batch;
   batcher_sc.batch_window_us = cfg.batch_window_us;
   batcher_sc.arena = cfg.arena;
+  batcher_sc.obs = obs_config(cfg);
   SchedulerConfig shared_sc;
   shared_sc.workers = sched_workers;
   shared_sc.max_batch = cfg.max_batch;
   shared_sc.batch_window_us = cfg.batch_window_us;
   shared_sc.adaptive_window = true;
   shared_sc.arena = cfg.arena;
+  shared_sc.obs = obs_config(cfg);
   // Admission control is what makes goodput survive saturation: bound the
   // queue at roughly one in-flight batch per worker so an ACCEPTED request
   // waits a bounded time and can still meet its deadline. Overload then
@@ -692,6 +698,7 @@ int run(int argc, const char* const* argv) {
                  sched_r.goodput_per_s >= 1.5 * batcher_r.goodput_per_s);
   }
   checks.summary();
+  maybe_write_trace(cfg);
   // Only bit-identity is a hard invariant (the serving contract); the perf
   // checks above are load-dependent and stay report-only, so the CI smoke
   // gate cannot flake on scheduling noise.

@@ -5,11 +5,15 @@
 //      TcpEndpoint — length-prefixed binary frames, see serve/wire.h.
 //   3. Connect a loopback TcpClient, send a burst of candidate designs
 //      (model id picks LUT vs CP), and read the responses back.
-//   4. Show that every socket-served prediction is bit-identical to a
+//   4. Scrape the live server with a STATS wire frame (wire.h type 3) and
+//      check the Prometheus-style text it returns agrees with the
+//      WireStats/SchedStats facade snapshots.
+//   5. Show that every socket-served prediction is bit-identical to a
 //      sequential QorPredictor::predict call, plus the wire-level counters.
 //
-// Exit code 1 if any served prediction diverges from the sequential path —
-// CI runs this binary as a Release-configuration loopback smoke test.
+// Exit code 1 if any served prediction diverges from the sequential path,
+// or if the STATS scrape is missing/contradicts the facade counters — CI
+// runs this binary as a Release-configuration loopback smoke test.
 //
 // Build & run:  ./build/serve_tcp [--port=N] [--max-inflight=N]
 //   --port=N          listen port (default 0 = OS-assigned ephemeral port)
@@ -17,6 +21,7 @@
 //                     answers kOverConnectionLimit (default 64)
 #include <cstring>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -29,6 +34,27 @@
 #include "support/timer.h"
 
 using namespace gnnhls;
+
+namespace {
+
+/// Value of the first series of `family` in Prometheus-style `text`
+/// (a line "family 42" or "family{labels} 42"); -1 if absent.
+long long scrape_value(const std::string& text, const std::string& family) {
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind(family, 0) != 0) continue;
+    const char next =
+        line.size() > family.size() ? line[family.size()] : '\0';
+    if (next != '{' && next != ' ') continue;  // longer family name
+    const std::size_t sp = line.rfind(' ');
+    if (sp == std::string::npos) continue;
+    return std::stoll(line.substr(sp + 1));
+  }
+  return -1;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
@@ -132,17 +158,64 @@ int main(int argc, char** argv) {
   while (answered < kRequests && take_response()) {
   }
   const double wall = serve_timer.seconds();
-  client.close();
-  ep.stop();
-  sched.shutdown();
   std::cout << "  " << answered << "/" << kRequests << " answered in "
             << TextTable::num(wall * 1e3, 0) << "ms ("
             << TextTable::num(static_cast<double>(answered) / wall, 0)
             << " graphs/s over loopback)\n\n";
 
-  // ----- 4. wire stats -----
+  // ----- 4. STATS scrape over the same connection -----
+  std::cout << "== 4. STATS scrape (wire frame type 3) ==\n";
+  StatsFrame scrape;
+  bool scrape_ok = client.send_stats_request(9999);
+  scrape_ok = scrape_ok && client.recv_stats_response(scrape) &&
+              scrape.request_id == 9999 && !scrape.text.empty();
+  client.close();
+  ep.stop();
+  sched.shutdown();
+  // All burst responses were drained before the scrape, so every counter
+  // below was final when the server rendered the text — it must agree
+  // exactly with the facade snapshots. (frames_out/bytes_out are excluded:
+  // the stats response itself bumps them after rendering.)
   const WireStats ws = ep.stats();
-  std::cout << "== 4. wire stats ==\n";
+  const SchedStats ss = sched.stats();
+  const std::vector<std::pair<std::string, long long>> scrape_expect = {
+      {"gnnhls_wire_connections_accepted_total",
+       static_cast<long long>(ws.connections_accepted)},
+      {"gnnhls_wire_frames_in_total", static_cast<long long>(ws.frames_in)},
+      {"gnnhls_wire_responses_ok_total",
+       static_cast<long long>(ws.responses_ok)},
+      {"gnnhls_wire_rejects_backpressure_total",
+       static_cast<long long>(ws.rejects_backpressure)},
+      {"gnnhls_wire_rejects_payload_total",
+       static_cast<long long>(ws.rejects_payload)},
+      {"gnnhls_wire_rejects_sched_total",
+       static_cast<long long>(ws.rejects_sched)},
+      {"gnnhls_wire_decode_errors_total",
+       static_cast<long long>(ws.decode_errors)},
+      {"gnnhls_sched_submitted_total", static_cast<long long>(ss.submitted)},
+      {"gnnhls_sched_completed_total", static_cast<long long>(ss.completed)},
+      {"gnnhls_sched_batches_total", static_cast<long long>(ss.batches)},
+  };
+  int scrape_mismatches = 0;
+  for (const auto& [family, want] : scrape_expect) {
+    const long long got = scrape_value(scrape.text, family);
+    if (got != want) {
+      std::cout << "  MISMATCH " << family << ": scraped " << got
+                << ", facade " << want << "\n";
+      ++scrape_mismatches;
+    }
+  }
+  if (scrape_ok && scrape_mismatches == 0) {
+    std::cout << "  scraped " << scrape.text.size() << " bytes; "
+              << scrape_expect.size()
+              << " counters match the facade snapshots exactly\n\n";
+  } else {
+    std::cout << "  FAIL: scrape_ok=" << scrape_ok << ", "
+              << scrape_mismatches << " counter mismatches\n\n";
+  }
+
+  // ----- 5. wire stats -----
+  std::cout << "== 5. wire stats ==\n";
   TextTable stats({"counter", "value"});
   stats.add_row({"connections accepted/closed",
                  std::to_string(ws.connections_accepted) + "/" +
@@ -160,9 +233,11 @@ int main(int argc, char** argv) {
   stats.add_row({"write failures", std::to_string(ws.write_failures)});
   std::cout << stats.to_string() << "\n";
 
-  if (mismatches != 0 || answered != kRequests) {
+  if (mismatches != 0 || answered != kRequests || !scrape_ok ||
+      scrape_mismatches != 0) {
     std::cout << "FAIL: " << mismatches << " mismatches, " << answered << "/"
-              << kRequests << " answered\n";
+              << kRequests << " answered, scrape_ok=" << scrape_ok << ", "
+              << scrape_mismatches << " scrape mismatches\n";
     return 1;
   }
   std::cout << "every socket-served prediction bit-identical to sequential "

@@ -25,6 +25,23 @@ cross-machine CI gate can meaningfully enforce. Absolute units (scores like
 to be meaningful; with fewer, normalized comparison of that group is
 vacuous and the script says so.
 
+Pair mode (--pair ARTIFACT --pair-a REGEX --pair-b REGEX) compares two
+bench families WITHIN one artifact instead of across two artifacts: each
+entry matching --pair-b (the variant under test, e.g. the obs-instrumented
+forward) is joined to the entry matching --pair-a whose name is identical
+after stripping the regex match (BM_FooObs/0/1 joins BM_Foo/0/1), and the
+check fails if the GEOMETRIC MEAN of the B/A time ratios exceeds
+1 + --threshold. The gate is aggregate on purpose: the cost under test
+(e.g. instrumentation) is uniform across the paired variants, so the
+geomean is its estimator, while per-pair ratios carry the full run-to-run
+jitter of single benchmark registrations (~10% on busy runners) and would
+flake a tight per-pair gate. Per-pair overheads are still printed and
+outliers flagged informationally. Same-machine, same-run pairs need no
+normalization, so this is the one comparison tight thresholds (5%) can
+gate reliably in CI. Times prefer cpu_time over real_time: the pair gate
+measures added work, not scheduling. Every --pair-b entry must find a
+partner; A entries without a B are noted but never fail.
+
 Exit status: 0 = no regression, 1 = at least one regression, 2 = usage or
 parse error.
 """
@@ -76,6 +93,89 @@ def load_entries(path):
     return entries
 
 
+def load_times(path):
+    """Returns {name: time} for pair mode — per-iteration time in the
+    artifact's own unit (consistent within one file, which is all a ratio
+    needs). Prefers cpu_time for google-benchmark records."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+    times = {}
+    if isinstance(doc, dict) and "benchmarks" in doc:
+        for b in doc["benchmarks"]:
+            if b.get("run_type") == "aggregate":
+                continue
+            if "cpu_time" in b:
+                times[b["name"]] = float(b["cpu_time"])
+            elif "real_time" in b:
+                times[b["name"]] = float(b["real_time"])
+    elif isinstance(doc, dict) and "entries" in doc:
+        for e in doc["entries"]:
+            if e.get("unit", "") in TIME_UNITS:
+                times[e["name"]] = float(e["value"])
+    else:
+        sys.exit(f"error: {path} is not a recognized bench JSON artifact")
+    if not times:
+        sys.exit(f"error: {path} contains no timed entries")
+    return times
+
+
+def run_pair(args):
+    for flag in ("pair_a", "pair_b"):
+        if getattr(args, flag) is None:
+            sys.exit(f"error: --pair requires --{flag.replace('_', '-')}")
+    try:
+        pat_a = re.compile(args.pair_a)
+        pat_b = re.compile(args.pair_b)
+    except re.error as e:
+        sys.exit(f"error: bad pair regex: {e}")
+    times = load_times(args.pair)
+    # Join key: the name with the family regex stripped, so the A and B
+    # variants of the same arg tuple line up.
+    side_a = {pat_a.sub("", n): (n, t) for n, t in times.items()
+              if pat_a.search(n)}
+    side_b = {pat_b.sub("", n): (n, t) for n, t in times.items()
+              if pat_b.search(n)}
+    if not side_a:
+        sys.exit(f"error: --pair-a matched no entries in {args.pair}")
+    if not side_b:
+        sys.exit(f"error: --pair-b matched no entries in {args.pair}")
+    missing = sorted(k for k in side_b if k not in side_a)
+    if missing:
+        sys.exit("error: no --pair-a partner for: " +
+                 ", ".join(side_b[k][0] for k in missing))
+
+    shared = sorted(k for k in side_b if k in side_a)
+    ratios = []
+    width = max(len(side_b[k][0]) for k in shared)
+    print(f"{'variant (B)':<{width}}  {'A time':>12}  {'B time':>12}  "
+          f"{'overhead':>8}")
+    for key in shared:
+        name_a, ta = side_a[key]
+        name_b, tb = side_b[key]
+        overhead = (tb - ta) / ta if ta > 0.0 else 0.0
+        if ta > 0.0 and tb > 0.0:
+            ratios.append(tb / ta)
+        # Per-pair outliers are informational: single registrations jitter
+        # far beyond a tight threshold; only the geomean below gates.
+        flag = "  (outlier)" if overhead > args.threshold else ""
+        print(f"{name_b:<{width}}  {ta:>12.4g}  {tb:>12.4g}  "
+              f"{overhead:>+7.1%}{flag}")
+    for key in sorted(k for k in side_a if k not in side_b):
+        print(f"note: A-only entry (not compared): {side_a[key][0]}")
+
+    mean_overhead = geomean(ratios) - 1.0
+    if mean_overhead > args.threshold:
+        print(f"\nFAIL: mean B/A overhead {mean_overhead:+.1%} beyond "
+              f"{args.threshold:.0%} across {len(shared)} pair(s)")
+        return 1
+    print(f"\nOK: mean B/A overhead {mean_overhead:+.1%} within "
+          f"{args.threshold:.0%} across {len(shared)} pair(s)")
+    return 0
+
+
 def geomean(values):
     vals = [v for v in values if v > 0.0]
     if not vals:
@@ -85,11 +185,19 @@ def geomean(values):
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("baseline", help="checked-in BENCH_*.json")
-    ap.add_argument("fresh", help="freshly produced BENCH_*.json")
+    ap.add_argument("baseline", nargs="?", help="checked-in BENCH_*.json")
+    ap.add_argument("fresh", nargs="?", help="freshly produced BENCH_*.json")
     ap.add_argument("--threshold", type=float, default=0.15,
                     help="worst tolerated relative regression "
                          "(default 0.15 = 15%%)")
+    ap.add_argument("--pair", default=None, metavar="ARTIFACT",
+                    help="pair mode: compare two bench families inside ONE "
+                         "artifact (see module docstring)")
+    ap.add_argument("--pair-a", default=None, metavar="REGEX",
+                    help="pair mode: the baseline family (stripped from "
+                         "names to form the join key)")
+    ap.add_argument("--pair-b", default=None, metavar="REGEX",
+                    help="pair mode: the variant family under test")
     ap.add_argument("--normalize", action="store_true",
                     help="self-normalize times/rates by their direction "
                          "group's geometric mean over shared entries "
@@ -101,6 +209,12 @@ def main():
                          "multi-thread entries scale with cores, not just "
                          "machine speed, and would skew the geomean")
     args = ap.parse_args()
+
+    if args.pair is not None:
+        return run_pair(args)
+    if args.baseline is None or args.fresh is None:
+        ap.error("baseline and fresh artifacts are required outside --pair "
+                 "mode")
 
     base = load_entries(args.baseline)
     fresh = load_entries(args.fresh)

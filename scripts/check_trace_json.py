@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace_event JSON file (obs/trace.h's --trace-out).
+
+Checks that the file is valid JSON in the Chrome trace format the repo
+emits ({"traceEvents": [...]}), and that every event is a well-formed
+complete event: string "name"/"cat", "ph" == "X", integer "ts"/"tid"/"pid",
+and a non-negative integer "dur". This is what Perfetto / chrome://tracing
+need to load the file, so CI runs it on the trace bench_serving captures.
+
+--require NAME[:MINCOUNT] asserts at least MINCOUNT (default 1) events with
+that name exist — the bench-smoke gate requires the spans the serving path
+must emit (queue_wait, forward) to actually show up.
+
+Exit status: 0 = valid, 1 = invalid or a --require unmet, 2 = usage error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"FAIL: {msg}")
+    return 1
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("trace", help="trace JSON file to validate")
+    ap.add_argument("--require", action="append", default=[],
+                    metavar="NAME[:MINCOUNT]",
+                    help="require >= MINCOUNT (default 1) events named NAME;"
+                         " repeatable")
+    args = ap.parse_args()
+
+    requirements = {}
+    for spec in args.require:
+        name, _, count = spec.partition(":")
+        try:
+            requirements[name] = int(count) if count else 1
+        except ValueError:
+            ap.error(f"bad --require count in {spec!r}")
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(f"cannot parse {args.trace}: {e}")
+
+    if not isinstance(doc, dict) or not isinstance(
+            doc.get("traceEvents"), list):
+        return fail("top level must be an object with a traceEvents list")
+
+    counts = {}
+    for i, ev in enumerate(doc["traceEvents"]):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            return fail(f"{where} is not an object")
+        for key in ("name", "cat"):
+            if not isinstance(ev.get(key), str) or not ev[key]:
+                return fail(f"{where} lacks a non-empty string {key!r}")
+        if ev.get("ph") != "X":
+            return fail(f"{where} ph is {ev.get('ph')!r}, expected 'X'")
+        for key in ("ts", "pid", "tid"):
+            if not isinstance(ev.get(key), int):
+                return fail(f"{where} lacks an integer {key!r}")
+        if not isinstance(ev.get("dur"), int) or ev["dur"] < 0:
+            return fail(f"{where} lacks a non-negative integer 'dur'")
+        counts[ev["name"]] = counts.get(ev["name"], 0) + 1
+
+    status = 0
+    for name, want in sorted(requirements.items()):
+        got = counts.get(name, 0)
+        if got < want:
+            print(f"FAIL: required span {name!r}: {got} event(s), "
+                  f"need >= {want}")
+            status = 1
+
+    if status == 0:
+        total = sum(counts.values())
+        spans = ", ".join(f"{n} x{c}" for n, c in sorted(counts.items()))
+        print(f"OK: {total} well-formed events ({spans or 'empty trace'})")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "hls/hls_flow.h"
+#include "obs/trace.h"
 #include "support/arena.h"
 #include "support/check.h"
 #include "support/parallel.h"
@@ -123,6 +124,7 @@ void Explorer::score_round(std::vector<DseCandidate>& candidates,
                            const std::vector<int>& subset,
                            const std::vector<Metric>& metrics,
                            DseResult& r) const {
+  const ObsSpan span(cfg_.obs.trace, "score_round", "dse");
   std::vector<const Sample*> samples;
   samples.reserve(subset.size());
   for (int i : subset) {
@@ -149,6 +151,7 @@ void Explorer::score_round(std::vector<DseCandidate>& candidates,
 
 void Explorer::synthesize(std::vector<DseCandidate>& candidates,
                           const std::vector<int>& subset, DseResult& r) const {
+  const ObsSpan span(cfg_.obs.trace, "synthesize", "dse");
   parallel_shards(static_cast<int>(subset.size()), [&](int j) {
     DseCandidate& c =
         candidates[static_cast<std::size_t>(subset[static_cast<std::size_t>(j)])];
@@ -234,6 +237,7 @@ DseResult Explorer::successive_halving() const {
   // the batched scoring path at each round's shrinking size.
   score_round(r.candidates, survivors, scored_metrics(), r);
   while (static_cast<int>(survivors.size()) > cfg_.top_k) {
+    const ObsSpan round_span(cfg_.obs.trace, "halving_round", "dse");
     const int keep = std::max(
         cfg_.top_k, (static_cast<int>(survivors.size()) + 1) / 2);
     std::sort(survivors.begin(), survivors.end(), [&](int a, int b) {

@@ -139,6 +139,10 @@ struct DseConfig {
   /// forward inline); the ServingScorer's worker manages its own arena via
   /// ServeConfig::arena. Execution-only: results are unchanged.
   bool arena = false;
+  /// Observability knobs (obs/obs_config.h): obs.trace emits
+  /// halving_round / score_round / synthesize spans when the process-wide
+  /// TraceCollector is active. Execution-only: DseResult is unchanged.
+  ObsConfig obs;
 };
 
 class Explorer {

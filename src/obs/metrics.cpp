@@ -1,0 +1,151 @@
+#include "obs/metrics.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace gnnhls {
+
+int obs_thread_stripe() {
+  static std::atomic<int> next{0};
+  thread_local const int stripe =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricStripes;
+  return stripe;
+}
+
+int Histogram::bucket_index(std::uint64_t v) {
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    if (v <= bucket_upper_bound(i)) return i;
+  }
+  return kHistogramBuckets;
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (int i = 0; i <= kHistogramBuckets; ++i) total += bucket_count(i);
+  return total;
+}
+
+std::uint64_t Histogram::sum() const {
+  std::uint64_t total = 0;
+  for (const Cell& c : cells_) total += c.sum.load(std::memory_order_relaxed);
+  return total;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* g = new MetricsRegistry();  // never destroyed:
+  return *g;  // metrics may be touched by detached threads at exit
+}
+
+std::uint64_t MetricsRegistry::next_instance_id() {
+  static std::atomic<std::uint64_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+MetricsRegistry::Metric& MetricsRegistry::find_or_create(
+    const std::string& name, const std::string& labels, Kind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto key = std::make_pair(name, labels);
+  auto it = metrics_.find(key);
+  if (it == metrics_.end()) {
+    Metric m;
+    m.kind = kind;
+    switch (kind) {
+      case Kind::kCounter:
+        m.counter = std::make_unique<Counter>();
+        break;
+      case Kind::kGauge:
+        m.gauge = std::make_unique<Gauge>();
+        break;
+      case Kind::kHistogram:
+        m.histogram = std::make_unique<Histogram>();
+        break;
+    }
+    it = metrics_.emplace(std::move(key), std::move(m)).first;
+  } else if (it->second.kind != kind) {
+    throw std::logic_error("metric '" + name +
+                           "' re-registered as a different kind");
+  }
+  return it->second;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name,
+                                  const std::string& labels) {
+  return find_or_create(name, labels, Kind::kCounter).counter.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name,
+                              const std::string& labels) {
+  return find_or_create(name, labels, Kind::kGauge).gauge.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& labels) {
+  return find_or_create(name, labels, Kind::kHistogram).histogram.get();
+}
+
+namespace {
+
+std::string series_name(const std::string& name, const std::string& labels,
+                        const std::string& extra_label = "") {
+  std::string out = name;
+  if (!labels.empty() || !extra_label.empty()) {
+    out += '{';
+    out += labels;
+    if (!labels.empty() && !extra_label.empty()) out += ',';
+    out += extra_label;
+    out += '}';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::render_text() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  const std::string* last_family = nullptr;
+  for (const auto& [key, metric] : metrics_) {
+    const std::string& name = key.first;
+    const std::string& labels = key.second;
+    if (last_family == nullptr || *last_family != name) {
+      const char* type = metric.kind == Kind::kCounter    ? "counter"
+                         : metric.kind == Kind::kGauge    ? "gauge"
+                                                          : "histogram";
+      out << "# TYPE " << name << ' ' << type << '\n';
+      last_family = &name;
+    }
+    switch (metric.kind) {
+      case Kind::kCounter:
+        out << series_name(name, labels) << ' ' << metric.counter->value()
+            << '\n';
+        break;
+      case Kind::kGauge:
+        out << series_name(name, labels) << ' ' << metric.gauge->value()
+            << '\n';
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *metric.histogram;
+        std::uint64_t cumulative = 0;
+        for (int i = 0; i < kHistogramBuckets; ++i) {
+          cumulative += h.bucket_count(i);
+          out << series_name(name + "_bucket", labels,
+                             "le=\"" +
+                                 std::to_string(
+                                     Histogram::bucket_upper_bound(i)) +
+                                 "\"")
+              << ' ' << cumulative << '\n';
+        }
+        cumulative += h.bucket_count(kHistogramBuckets);
+        out << series_name(name + "_bucket", labels, "le=\"+Inf\"") << ' '
+            << cumulative << '\n';
+        out << series_name(name + "_sum", labels) << ' ' << h.sum() << '\n';
+        out << series_name(name + "_count", labels) << ' ' << cumulative
+            << '\n';
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace gnnhls

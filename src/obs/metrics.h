@@ -1,0 +1,165 @@
+// Process-wide metrics registry: named counters, gauges, and fixed-bucket
+// log-scale histograms with a Prometheus-style text exposition.
+//
+// Sharding rule (the hot-path contract): every Counter and Histogram is
+// striped over kMetricStripes cache-line-padded atomic cells; a writer pays
+// ONE relaxed fetch_add on its thread's stripe — never a lock, never a
+// contended line when writer threads land on different stripes. Gauges are
+// a single relaxed atomic (set/add are rare, snapshot-ish operations).
+//
+// Merge determinism: a snapshot (value(), render_text()) sums the stripes
+// in fixed stripe order. Counts and sums are unsigned 64-bit integers, so
+// the merged value is a commutative exact sum — the same multiset of
+// recorded events produces byte-identical render_text() output regardless
+// of how many threads recorded them or which stripes they landed on
+// (asserted by tests/obs_test.cpp across thread counts). Histograms record
+// integer values (microseconds, by convention) for exactly this reason:
+// float sums would make the merge order observable.
+//
+// Registry instances: MetricsRegistry::global() is the process-wide scrape
+// surface (what the STATS wire frame renders). Subsystems whose ObsConfig
+// has metrics=false keep their counters in a private MetricsRegistry
+// instance instead — same storage, same exact facades, nothing published.
+// Metric objects live as long as their registry; the returned pointers are
+// stable (never invalidated by later registrations).
+//
+// Observability never touches computed values: this header's types count
+// events and read clocks, nothing else.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+namespace gnnhls {
+
+/// Stripe count for counters/histograms. Power of two; 8 stripes cover the
+/// small worker pools this repo runs (schedulers default to a handful of
+/// workers) without bloating every metric to a page.
+inline constexpr int kMetricStripes = 8;
+
+/// Histogram buckets: bucket i counts values <= 2^i (i in [0, 30]), plus a
+/// +Inf overflow bucket. In microseconds that spans 1us .. ~18 minutes —
+/// every latency this system can produce.
+inline constexpr int kHistogramBuckets = 31;
+
+/// Small dense per-thread stripe index (thread id hashes collide; a
+/// monotonically assigned index does not until kMetricStripes threads).
+int obs_thread_stripe();
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    cells_[obs_thread_stripe()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  /// Exact sum over stripes. Monotonic; exact once writers quiesce.
+  std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const Cell& c : cells_) total += c.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  Cell cells_[kMetricStripes];
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+class Histogram {
+ public:
+  /// Upper bound of bucket i (2^i), for rendering and tests.
+  static std::uint64_t bucket_upper_bound(int i) {
+    return std::uint64_t{1} << i;
+  }
+  /// Index of the bucket counting `v`: the smallest i with v <= 2^i, or
+  /// kHistogramBuckets (the +Inf bucket) past the last bound.
+  static int bucket_index(std::uint64_t v);
+
+  void record(std::uint64_t v) {
+    Cell& c = cells_[obs_thread_stripe()];
+    c.buckets[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    c.sum.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  /// Per-bucket (NOT cumulative) count; i may be kHistogramBuckets (+Inf).
+  std::uint64_t bucket_count(int i) const {
+    std::uint64_t total = 0;
+    for (const Cell& c : cells_) {
+      total += c.buckets[i].load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  std::uint64_t count() const;
+  std::uint64_t sum() const;
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> buckets[kHistogramBuckets + 1] = {};
+    std::atomic<std::uint64_t> sum{0};
+  };
+  Cell cells_[kMetricStripes];
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide scrape surface (STATS wire frame, render_text).
+  static MetricsRegistry& global();
+
+  /// Private instances back subsystems whose ObsConfig.metrics is false,
+  /// and give tests isolation from the global namespace.
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Registers (or finds) the metric named `name` with the pre-rendered
+  /// label string `labels` (e.g. R"(sched="3")" — no braces). Pointers are
+  /// stable for the registry's lifetime. Re-registering the same
+  /// (name, labels) returns the same object; registering one name as two
+  /// different metric kinds throws.
+  Counter* counter(const std::string& name, const std::string& labels = "");
+  Gauge* gauge(const std::string& name, const std::string& labels = "");
+  Histogram* histogram(const std::string& name,
+                       const std::string& labels = "");
+
+  /// Prometheus-style text exposition, deterministically ordered by
+  /// (name, labels): one `# TYPE` line per family, `name{labels} value`
+  /// per series, and `_bucket{le=...}` (cumulative) / `_sum` / `_count`
+  /// series per histogram.
+  std::string render_text() const;
+
+  /// Monotonic process-wide id for labeling one subsystem instance's
+  /// metrics apart from its siblings (tests construct many schedulers).
+  static std::uint64_t next_instance_id();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Metric {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Metric& find_or_create(const std::string& name, const std::string& labels,
+                         Kind kind);
+
+  mutable std::mutex mu_;  // guards the map, never a metric's hot path
+  std::map<std::pair<std::string, std::string>, Metric> metrics_;
+};
+
+}  // namespace gnnhls

@@ -1,0 +1,119 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace gnnhls {
+
+TraceCollector& TraceCollector::global() {
+  static TraceCollector* g = new TraceCollector();  // never destroyed
+  return *g;
+}
+
+TraceCollector::TraceCollector() {
+  epoch_steady_us_ = std::chrono::duration_cast<std::chrono::microseconds>(
+                         std::chrono::steady_clock::now().time_since_epoch())
+                         .count();
+}
+
+std::int64_t TraceCollector::now_us() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+             .count() -
+         epoch_steady_us_;
+}
+
+TraceCollector::ThreadBuf& TraceCollector::local_buf() {
+  // One registration per thread; the buffer outlives the thread (and is
+  // never freed) so the cached pointer can't dangle across clear().
+  thread_local ThreadBuf* buf = [this] {
+    ThreadBuf* b = new ThreadBuf();
+    std::lock_guard<std::mutex> lock(bufs_mu_);
+    b->tid = next_tid_++;
+    bufs_.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+void TraceCollector::record(const char* name, const char* cat,
+                            std::int64_t ts_us, std::int64_t dur_us) {
+  if (!active()) return;
+  ThreadBuf& buf = local_buf();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  if (buf.events.size() >= kMaxEventsPerThread) {
+    ++buf.dropped;
+    return;
+  }
+  buf.events.push_back(Event{name, cat, ts_us, dur_us, buf.tid});
+}
+
+void TraceCollector::clear() {
+  std::lock_guard<std::mutex> lock(bufs_mu_);
+  for (ThreadBuf* b : bufs_) {
+    std::lock_guard<std::mutex> bl(b->mu);
+    b->events.clear();
+    b->dropped = 0;
+  }
+}
+
+std::uint64_t TraceCollector::dropped() const {
+  std::lock_guard<std::mutex> lock(bufs_mu_);
+  std::uint64_t total = 0;
+  for (ThreadBuf* b : bufs_) {
+    std::lock_guard<std::mutex> bl(b->mu);
+    total += b->dropped;
+  }
+  return total;
+}
+
+std::size_t TraceCollector::event_count() const {
+  std::lock_guard<std::mutex> lock(bufs_mu_);
+  std::size_t total = 0;
+  for (ThreadBuf* b : bufs_) {
+    std::lock_guard<std::mutex> bl(b->mu);
+    total += b->events.size();
+  }
+  return total;
+}
+
+std::string TraceCollector::render_json() const {
+  std::vector<Event> events;
+  {
+    std::lock_guard<std::mutex> lock(bufs_mu_);
+    for (ThreadBuf* b : bufs_) {
+      std::lock_guard<std::mutex> bl(b->mu);
+      events.insert(events.end(), b->events.begin(), b->events.end());
+    }
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+    if (a.tid != b.tid) return a.tid < b.tid;
+    return std::strcmp(a.name, b.name) < 0;
+  });
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const Event& e : events) {
+    if (!first) out << ',';
+    first = false;
+    // Span names are static identifiers (no quotes/escapes by contract).
+    out << "{\"name\":\"" << e.name << "\",\"cat\":\"" << e.cat
+        << "\",\"ph\":\"X\",\"ts\":" << e.ts_us << ",\"dur\":" << e.dur_us
+        << ",\"pid\":1,\"tid\":" << e.tid << ",\"args\":{}}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+bool TraceCollector::write_json(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << render_json() << '\n';
+  return static_cast<bool>(out);
+}
+
+}  // namespace gnnhls

@@ -1,0 +1,139 @@
+// Scoped trace spans exported as Chrome trace_event JSON (Perfetto-loadable).
+//
+// TraceCollector is a process-wide singleton: start() arms it, instrumented
+// scopes (ObsSpan) record complete events ("ph":"X") into per-thread
+// buffers, stop() disarms, write_json() merges + sorts the buffers into a
+// deterministically ordered {"traceEvents":[...]} document.
+//
+// Hot-path contract: an instrumented scope whose ObsConfig.trace is false
+// does nothing at all; with trace=true but the collector stopped it pays
+// one relaxed load. Recording appends to a per-thread buffer under that
+// thread's own (uncontended) mutex — no global lock, no allocation past
+// the buffer's amortized growth, capped at kMaxEventsPerThread events per
+// thread (overflow increments a drop counter instead of growing).
+//
+// Thread buffers are registered once per thread and never deleted — clear()
+// empties their event vectors but keeps the buffers alive, so a cached
+// thread-local pointer can never dangle even if the collector is cleared
+// while worker threads are live.
+//
+// Like the metrics registry, tracing reads the clock and never touches a
+// computed value; timestamps come from a process-wide steady epoch so
+// spans from different subsystems share one timebase.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gnnhls {
+
+class TraceCollector {
+ public:
+  /// Cap on buffered events per thread; past it events are dropped (and
+  /// counted), bounding memory for long bench runs.
+  static constexpr std::size_t kMaxEventsPerThread = 1u << 20;
+
+  static TraceCollector& global();
+
+  /// True while armed; spans check this with one relaxed load.
+  bool active() const { return active_.load(std::memory_order_relaxed); }
+  void start() { active_.store(true, std::memory_order_relaxed); }
+  void stop() { active_.store(false, std::memory_order_relaxed); }
+
+  /// Microseconds since the collector's process-wide steady epoch — the
+  /// timebase of every recorded event.
+  std::int64_t now_us() const;
+
+  /// Records a complete event ("ph":"X"). `name` and `cat` must point at
+  /// storage outliving write_json (string literals in practice). `ts` and
+  /// `dur` are in the now_us() timebase. No-op unless active().
+  void record(const char* name, const char* cat, std::int64_t ts_us,
+              std::int64_t dur_us);
+
+  /// Drops all buffered events (buffers stay registered) and resets the
+  /// dropped-event count.
+  void clear();
+
+  /// Events dropped across all threads since the last clear().
+  std::uint64_t dropped() const;
+
+  /// Total buffered events across all threads.
+  std::size_t event_count() const;
+
+  /// Writes the Chrome trace_event JSON document, events sorted by
+  /// (ts, tid, name) so equal inputs yield byte-equal files. Returns false
+  /// if the file could not be opened.
+  bool write_json(const std::string& path) const;
+
+  /// The document as a string (what write_json writes) — for tests.
+  std::string render_json() const;
+
+ private:
+  struct Event {
+    const char* name;
+    const char* cat;
+    std::int64_t ts_us;
+    std::int64_t dur_us;
+    int tid;
+  };
+  struct ThreadBuf {
+    std::mutex mu;
+    std::vector<Event> events;
+    std::uint64_t dropped = 0;
+    int tid = 0;
+  };
+
+  TraceCollector();
+  ThreadBuf& local_buf();
+
+  std::atomic<bool> active_{false};
+  std::int64_t epoch_steady_us_ = 0;  // steady_clock at construction
+
+  mutable std::mutex bufs_mu_;             // guards registration + snapshot
+  std::vector<ThreadBuf*> bufs_;           // leaked on purpose, never freed
+  int next_tid_ = 1;
+};
+
+/// RAII complete-event span. `gate` is the subsystem's ObsConfig.trace —
+/// when false the constructor does nothing (not even an atomic load).
+/// `name`/`cat` must be string literals (or otherwise outlive the
+/// collector's write_json call).
+class ObsSpan {
+ public:
+  ObsSpan(bool gate, const char* name, const char* cat)
+      : name_(nullptr), cat_(cat), start_us_(0) {
+    if (gate && TraceCollector::global().active()) {
+      name_ = name;  // non-null name_ doubles as the "armed" flag
+      start_us_ = TraceCollector::global().now_us();
+    }
+  }
+  ~ObsSpan() {
+    if (name_ != nullptr) {
+      TraceCollector& tc = TraceCollector::global();
+      tc.record(name_, cat_, start_us_, tc.now_us() - start_us_);
+    }
+  }
+  ObsSpan(const ObsSpan&) = delete;
+  ObsSpan& operator=(const ObsSpan&) = delete;
+
+ private:
+  const char* name_;
+  const char* cat_;
+  std::int64_t start_us_;
+};
+
+/// Records a complete event with explicit timestamps (for spans whose start
+/// predates any scope, e.g. queue wait measured from a request's arrival).
+/// Same gating as ObsSpan.
+inline void obs_complete_event(bool gate, const char* name, const char* cat,
+                               std::int64_t ts_us, std::int64_t dur_us) {
+  if (gate && TraceCollector::global().active()) {
+    TraceCollector::global().record(name, cat, ts_us, dur_us);
+  }
+}
+
+}  // namespace gnnhls

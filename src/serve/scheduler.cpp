@@ -5,19 +5,18 @@
 #include <utility>
 
 #include "gnn/mp_executor.h"
+#include "obs/trace.h"
+#include "serve/status_names.h"
 #include "support/arena.h"
 #include "support/check.h"
 
 namespace gnnhls {
 
 std::string admit_status_name(AdmitStatus s) {
-  switch (s) {
-    case AdmitStatus::kAccepted: return "accepted";
-    case AdmitStatus::kExpired: return "expired";
-    case AdmitStatus::kOverCapacity: return "over-capacity";
-    case AdmitStatus::kShutdown: return "shutdown";
-  }
-  return "unknown";
+  // Shared table with the wire results (serve/status_names.h); kAccepted
+  // keeps its historical "accepted" spelling (wire code 0 is "ok").
+  if (s == AdmitStatus::kAccepted) return "accepted";
+  return status_name(static_cast<std::uint32_t>(s));
 }
 
 ServingScheduler::ServingScheduler(std::vector<const QorPredictor*> models,
@@ -34,7 +33,53 @@ ServingScheduler::ServingScheduler(std::vector<const QorPredictor*> models,
   GNNHLS_CHECK(cfg_.max_batch >= 1, "SchedulerConfig: max_batch must be >= 1");
   GNNHLS_CHECK(cfg_.batch_window_us >= 0,
                "SchedulerConfig: batch_window_us must be >= 0");
-  stats_.per_model_completed.assign(models_.size(), 0);
+
+  // now_us() reads 0 right here, so the collector's clock IS the offset
+  // between the two timebases.
+  trace_offset_us_ = TraceCollector::global().now_us();
+
+  if (cfg_.obs.metrics) {
+    registry_ = &MetricsRegistry::global();
+  } else {
+    own_registry_ = std::make_unique<MetricsRegistry>();
+    registry_ = own_registry_.get();
+  }
+  const std::string inst =
+      "sched=\"" + std::to_string(MetricsRegistry::next_instance_id()) + "\"";
+  m_.submitted = registry_->counter("gnnhls_sched_submitted_total", inst);
+  m_.completed = registry_->counter("gnnhls_sched_completed_total", inst);
+  m_.completed_in_deadline =
+      registry_->counter("gnnhls_sched_completed_in_deadline_total", inst);
+  m_.shed_expired = registry_->counter("gnnhls_sched_shed_expired_total", inst);
+  m_.shed_capacity =
+      registry_->counter("gnnhls_sched_shed_capacity_total", inst);
+  m_.rejected_shutdown =
+      registry_->counter("gnnhls_sched_rejected_shutdown_total", inst);
+  m_.shed_in_queue =
+      registry_->counter("gnnhls_sched_shed_in_queue_total", inst);
+  m_.batches = registry_->counter("gnnhls_sched_batches_total", inst);
+  m_.flush_full = registry_->counter("gnnhls_sched_flush_full_total", inst);
+  m_.flush_timeout =
+      registry_->counter("gnnhls_sched_flush_timeout_total", inst);
+  m_.flush_drain = registry_->counter("gnnhls_sched_flush_drain_total", inst);
+  m_.heap_allocs = registry_->counter("gnnhls_sched_heap_allocs_total", inst);
+  m_.fused_fallbacks =
+      registry_->counter("gnnhls_sched_fused_fallbacks_total", inst);
+  m_.latencies_dropped =
+      registry_->counter("gnnhls_sched_latencies_dropped_total", inst);
+  m_.max_batch_seen = registry_->gauge("gnnhls_sched_max_batch_seen", inst);
+  m_.queue_depth = registry_->gauge("gnnhls_sched_queue_depth", inst);
+  m_.window_us = registry_->gauge("gnnhls_sched_window_us", inst);
+  m_.window_us->set(window_.current_us());
+  m_.latency_us = registry_->histogram("gnnhls_sched_latency_us", inst);
+  m_.queue_wait_us = registry_->histogram("gnnhls_sched_queue_wait_us", inst);
+  m_.per_model_completed.reserve(models_.size());
+  for (std::size_t i = 0; i < models_.size(); ++i) {
+    m_.per_model_completed.push_back(registry_->counter(
+        "gnnhls_sched_per_model_completed_total",
+        inst + ",model=\"" + std::to_string(i) + "\""));
+  }
+
   if (!cfg_.virtual_time) {
     workers_.reserve(static_cast<std::size_t>(cfg_.workers));
     for (int i = 0; i < cfg_.workers; ++i) {
@@ -95,18 +140,18 @@ ServingScheduler::Ticket ServingScheduler::submit_ref(int model,
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stop_) {
-      ++stats_.rejected_shutdown;
+      m_.rejected_shutdown->add();
       reject(AdmitStatus::kShutdown, "ServingScheduler: submit after shutdown");
       return ticket;
     }
     if (opts.deadline_us < 0) {
-      ++stats_.shed_expired;
+      m_.shed_expired->add();
       reject(AdmitStatus::kExpired,
              "ServingScheduler: deadline expired before submit");
       return ticket;
     }
     if (cfg_.max_queue != 0 && queue_.size() >= cfg_.max_queue) {
-      ++stats_.shed_capacity;
+      m_.shed_capacity->add();
       reject(AdmitStatus::kOverCapacity,
              "ServingScheduler: queue over capacity");
       return ticket;
@@ -125,7 +170,8 @@ ServingScheduler::Ticket ServingScheduler::submit_ref(int model,
         queue_.begin(), queue_.end(), e,
         [](const Entry& a, const Entry& b) { return urgent_before(a, b); });
     queue_.insert(pos, std::move(e));
-    ++stats_.submitted;
+    m_.submitted->add();
+    m_.queue_depth->set(static_cast<std::int64_t>(queue_.size()));
     notify = true;
   }
   if (notify) queue_cv_.notify_one();
@@ -168,11 +214,33 @@ void ServingScheduler::shutdown() {
 }
 
 SchedStats ServingScheduler::stats() const {
+  // Assembled from the registry counters under mu_ — every counter update
+  // also happens under mu_, so the snapshot invariants (flush_full +
+  // flush_timeout + flush_drain == batches, completed <= submitted) still
+  // hold within one snapshot.
   std::lock_guard<std::mutex> lock(mu_);
-  SchedStats out = stats_;
+  SchedStats out;
+  out.submitted = m_.submitted->value();
+  out.completed = m_.completed->value();
+  out.completed_in_deadline = m_.completed_in_deadline->value();
+  out.shed_expired = m_.shed_expired->value();
+  out.shed_capacity = m_.shed_capacity->value();
+  out.rejected_shutdown = m_.rejected_shutdown->value();
+  out.shed_in_queue = m_.shed_in_queue->value();
+  out.batches = m_.batches->value();
+  out.flush_full = m_.flush_full->value();
+  out.flush_timeout = m_.flush_timeout->value();
+  out.flush_drain = m_.flush_drain->value();
+  out.max_batch_seen = static_cast<int>(m_.max_batch_seen->value());
   out.window_us = window_.current_us();
   out.window_grows = window_.grows();
   out.window_shrinks = window_.shrinks();
+  out.heap_allocs = m_.heap_allocs->value();
+  out.fused_fallbacks = m_.fused_fallbacks->value();
+  out.per_model_completed.reserve(m_.per_model_completed.size());
+  for (const Counter* c : m_.per_model_completed) {
+    out.per_model_completed.push_back(c->value());
+  }
   return out;
 }
 
@@ -212,7 +280,7 @@ void ServingScheduler::sweep_expired(std::int64_t now,
       ++it;
     }
   }
-  stats_.shed_in_queue += expired.size();
+  if (!expired.empty()) m_.shed_in_queue->add(expired.size());
 }
 
 void ServingScheduler::fail_expired(std::vector<Entry>& expired) {
@@ -267,7 +335,11 @@ bool ServingScheduler::step(std::unique_lock<std::mutex>& lock,
       now_us() >= head.arrival_us + window_.current_us();
   if (!drain_everything && !full && !timed_out) return false;
 
-  std::vector<Entry> batch = extract_batch(model);
+  std::vector<Entry> batch;
+  {
+    const ObsSpan span(trace_on(), "batch_assembly", "serve");
+    batch = extract_batch(model);
+  }
   const FlushReason reason =
       static_cast<int>(batch.size()) >= cfg_.max_batch
           ? FlushReason::kFull
@@ -276,6 +348,8 @@ bool ServingScheduler::step(std::unique_lock<std::mutex>& lock,
   // Backlog means arrivals outpace service -> grow toward the cap; a
   // drained queue means the window is only adding latency -> shrink.
   window_.observe(queue_.size());
+  m_.window_us->set(window_.current_us());
+  m_.queue_depth->set(static_cast<std::int64_t>(queue_.size()));
 
   lock.unlock();
   run_batch(batch, reason);
@@ -290,11 +364,23 @@ void ServingScheduler::run_batch(std::vector<Entry>& batch,
   for (const Entry& e : batch) parts.push_back(e.sample.get());
   const int model = batch.front().model;
 
+  // One queue_wait span per request, arrival -> extraction, stamped in the
+  // collector's timebase via trace_offset_us_.
+  const std::int64_t forward_start = now_us();
+  if (trace_on()) {
+    for (const Entry& e : batch) {
+      obs_complete_event(true, "queue_wait", "serve",
+                         e.arrival_us + trace_offset_us_,
+                         forward_start - e.arrival_us);
+    }
+  }
+
   std::vector<double> pred;
   std::exception_ptr error;
   const std::uint64_t heap_before = thread_matrix_heap_allocs();
   const std::uint64_t fused_before = thread_fused_fallbacks();
   try {
+    const ObsSpan forward_span(trace_on(), "forward", "serve");
     // One forward's worth of tape temporaries per arena reset; the returned
     // doubles use std::allocator and survive the scope.
     const ArenaScope scratch(cfg_.arena ? &thread_scratch_arena() : nullptr);
@@ -313,28 +399,39 @@ void ServingScheduler::run_batch(std::vector<Entry>& batch,
   // request in stats().
   {
     std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.batches;
+    m_.batches->add();
     switch (reason) {
-      case FlushReason::kFull: ++stats_.flush_full; break;
-      case FlushReason::kTimeout: ++stats_.flush_timeout; break;
-      case FlushReason::kDrain: ++stats_.flush_drain; break;
+      case FlushReason::kFull: m_.flush_full->add(); break;
+      case FlushReason::kTimeout: m_.flush_timeout->add(); break;
+      case FlushReason::kDrain: m_.flush_drain->add(); break;
     }
-    stats_.completed += batch.size();
-    stats_.per_model_completed[static_cast<std::size_t>(model)] +=
-        batch.size();
-    stats_.max_batch_seen =
-        std::max(stats_.max_batch_seen, static_cast<int>(batch.size()));
-    stats_.heap_allocs += heap_delta;
-    stats_.fused_fallbacks += fused_delta;
+    m_.completed->add(batch.size());
+    m_.per_model_completed[static_cast<std::size_t>(model)]->add(batch.size());
+    if (static_cast<int>(batch.size()) >
+        static_cast<int>(m_.max_batch_seen->value())) {
+      m_.max_batch_seen->set(static_cast<std::int64_t>(batch.size()));
+    }
+    if (heap_delta != 0) m_.heap_allocs->add(heap_delta);
+    if (fused_delta != 0) m_.fused_fallbacks->add(fused_delta);
     for (const Entry& e : batch) {
       if (e.deadline_us == kNoDeadline || done <= e.deadline_us) {
-        ++stats_.completed_in_deadline;
+        m_.completed_in_deadline->add();
       }
+      const std::int64_t wait = forward_start - e.arrival_us;
+      m_.queue_wait_us->record(
+          static_cast<std::uint64_t>(wait > 0 ? wait : 0));
+      const std::int64_t lat = done - e.arrival_us;
+      m_.latency_us->record(static_cast<std::uint64_t>(lat > 0 ? lat : 0));
       if (cfg_.record_latencies) {
-        latencies_us_.push_back(static_cast<double>(done - e.arrival_us));
+        if (latencies_us_.size() < cfg_.latency_cap) {
+          latencies_us_.push_back(static_cast<double>(lat));
+        } else {
+          m_.latencies_dropped->add();
+        }
       }
     }
   }
+  const ObsSpan scatter_span(trace_on(), "scatter", "serve");
   if (error) {
     // predict_many throws before computing anything, so failing the whole
     // micro-batch with the same exception is consistent.

@@ -74,6 +74,8 @@
 #include <vector>
 
 #include "core/predictor.h"
+#include "obs/metrics.h"
+#include "obs/obs_config.h"
 #include "serve/serve_stats.h"
 
 namespace gnnhls {
@@ -196,12 +198,22 @@ struct SchedulerConfig {
   /// thread's scratch arena (support/arena.h). Execution-only.
   bool arena = false;
   /// Record per-request submit->answer latency (microseconds) for every
-  /// completed request; drained with take_latencies_us(). Benches only —
-  /// unbounded memory under unbounded traffic.
+  /// completed request; drained with take_latencies_us(). The raw-sample
+  /// vector is bounded by latency_cap (overflow is counted, not stored);
+  /// the registry's latency histogram records every completion regardless.
   bool record_latencies = false;
+  /// Cap on buffered raw latency samples between take_latencies_us() calls
+  /// (record_latencies only). Past it samples still land in the histogram
+  /// but the vector stops growing — bounded memory under unbounded traffic.
+  std::size_t latency_cap = 1u << 20;
   /// Deterministic test mode: no worker threads, no real clock. The test
   /// drives time with advance_virtual_time() and service with pump().
   bool virtual_time = false;
+  /// Observability knobs (obs/obs_config.h). Execution-only: metrics and
+  /// trace spans read the clock and count events, never touch served
+  /// values. Trace spans are suppressed in virtual_time mode (virtual
+  /// timestamps would not share the collector's timebase).
+  ObsConfig obs;
 };
 
 class ServingScheduler {
@@ -250,11 +262,21 @@ class ServingScheduler {
   /// submitters.
   void shutdown();
 
-  /// Consistent snapshot of the scheduling counters (serve_stats.h).
+  /// Consistent snapshot of the scheduling counters (serve_stats.h). Since
+  /// PR 9 this is a facade over the metrics registry: the counters live in
+  /// obs/metrics.h Counter/Gauge objects (updated under the queue lock, so
+  /// the snapshot invariants still hold) and this assembles the same struct
+  /// from them.
   SchedStats stats() const;
 
-  /// Drains the recorded latencies (cfg.record_latencies only).
+  /// Drains the recorded latencies (cfg.record_latencies only; at most
+  /// cfg.latency_cap samples buffer between drains).
   std::vector<double> take_latencies_us();
+
+  /// The registry holding this scheduler's metrics:
+  /// MetricsRegistry::global() when cfg.obs.metrics, else a private
+  /// per-instance registry. Series carry a `sched="<instance>"` label.
+  MetricsRegistry& metrics_registry() const { return *registry_; }
 
   const SchedulerConfig& config() const { return cfg_; }
 
@@ -304,20 +326,56 @@ class ServingScheduler {
   /// One scheduling step; assumes `lock` is held on mu_ and may release/
   /// reacquire it around the forward. Returns true if a batch was served.
   bool step(std::unique_lock<std::mutex>& lock, bool drain_everything);
-  /// Runs one micro-batch outside the lock, records it in stats_ in ONE
-  /// locked update before fulfilling the promises.
+  /// Runs one micro-batch outside the lock, records it in the registry
+  /// counters in ONE locked update before fulfilling the promises.
   void run_batch(std::vector<Entry>& batch, FlushReason reason);
   void worker_loop();
+
+  /// True when this scheduler emits trace spans (cfg.obs.trace, real-time
+  /// mode, collector state checked per span).
+  bool trace_on() const { return cfg_.obs.trace && !cfg_.virtual_time; }
+
+  /// The registry-backed counters behind the SchedStats facade. All
+  /// updates happen under mu_ (preserving snapshot consistency); the
+  /// striped cells make reads safe from any thread regardless.
+  struct Metrics {
+    Counter* submitted;
+    Counter* completed;
+    Counter* completed_in_deadline;
+    Counter* shed_expired;
+    Counter* shed_capacity;
+    Counter* rejected_shutdown;
+    Counter* shed_in_queue;
+    Counter* batches;
+    Counter* flush_full;
+    Counter* flush_timeout;
+    Counter* flush_drain;
+    Counter* heap_allocs;
+    Counter* fused_fallbacks;
+    Counter* latencies_dropped;
+    Gauge* max_batch_seen;
+    Gauge* queue_depth;
+    Gauge* window_us;
+    Histogram* latency_us;
+    Histogram* queue_wait_us;
+    std::vector<Counter*> per_model_completed;
+  };
 
   const std::vector<const QorPredictor*> models_;
   const SchedulerConfig cfg_;
   const std::chrono::steady_clock::time_point epoch_;
+  /// Shift from this scheduler's now_us() timebase to the trace
+  /// collector's (event ts = now_us() + trace_offset_us_).
+  std::int64_t trace_offset_us_ = 0;
+
+  std::unique_ptr<MetricsRegistry> own_registry_;  // !cfg.obs.metrics
+  MetricsRegistry* registry_ = nullptr;
+  Metrics m_{};
 
   mutable std::mutex mu_;
   std::condition_variable queue_cv_;  // worker wakeup: request / shutdown
   std::deque<Entry> queue_;           // kept in urgency order
   AdaptiveWindow window_;
-  SchedStats stats_;
   std::vector<double> latencies_us_;  // cfg.record_latencies only
   std::uint64_t next_seq_ = 0;
   std::int64_t virtual_now_ = 0;  // cfg.virtual_time only

@@ -113,10 +113,12 @@ struct SchedStats {
 };
 
 /// Snapshot of the TCP endpoint's wire-level counters (serve/tcp_endpoint.h).
-/// Same consistency rule as the scheduler stats: every field is read under
-/// the endpoint's stats lock in one critical section, so within a snapshot
-/// `responses_ok + rejects_* + write_failures <= frames_in` and
-/// `frames_out + write_failures == answered frames` hold.
+/// Since PR 9 the counters live in lock-free striped registry atomics
+/// (obs/metrics.h), so a mid-flight snapshot is monotonically fresh rather
+/// than a single critical section; once the endpoint's threads are
+/// quiescent (connections drained, or after stop()) every field is exact
+/// and the invariants `responses_ok + rejects_* + write_failures <=
+/// frames_in` and `frames_out + write_failures == answered frames` hold.
 struct WireStats {
   /// Connections the accept loop handed to a reader thread / reader threads
   /// that have fully torn down (close waits for the writer to drain, so
@@ -146,6 +148,9 @@ struct WireStats {
   std::uint64_t rejects_sched = 0;
   /// Requests answered with result kOk and a prediction.
   std::uint64_t responses_ok = 0;
+  /// STATS scrape frames answered (wire type 3). Protocol surface, not
+  /// observability: served regardless of ObsConfig.
+  std::uint64_t stats_requests = 0;
   /// Responses that could not be written (peer hung up mid-answer). The
   /// request was still fully served; only the answer was undeliverable.
   std::uint64_t write_failures = 0;

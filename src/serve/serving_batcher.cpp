@@ -15,6 +15,7 @@ SchedulerConfig ServingBatcher::to_scheduler_config(const ServeConfig& cfg) {
   sc.adaptive_window = false;
   sc.arena = cfg.arena;
   sc.record_latencies = cfg.record_latencies;
+  sc.obs = cfg.obs;
   return sc;
 }
 

@@ -62,9 +62,12 @@ struct ServeConfig {
   /// Execution-only: served values are unchanged.
   bool arena = false;
   /// Record per-request submit->answer latency for take_latencies_us()
-  /// (bench_serving's open-loop mode only; unbounded memory under
-  /// unbounded traffic).
+  /// (bench_serving's open-loop mode only; the raw-sample buffer is
+  /// bounded by SchedulerConfig::latency_cap).
   bool record_latencies = false;
+  /// Observability knobs, forwarded to the underlying scheduler
+  /// (obs/obs_config.h). Execution-only.
+  ObsConfig obs;
 };
 
 class ServingBatcher {

@@ -1,0 +1,41 @@
+#include "serve/status_names.h"
+
+#include "serve/wire.h"
+
+namespace gnnhls {
+
+// AdmitStatus values are a strict prefix of WireResult — the property that
+// lets wire_result_from_admit be a value cast and this table serve both
+// enums. If either enum is reordered these fire at compile time.
+static_assert(static_cast<std::uint32_t>(AdmitStatus::kAccepted) ==
+              static_cast<std::uint32_t>(WireResult::kOk));
+static_assert(static_cast<std::uint32_t>(AdmitStatus::kExpired) ==
+              static_cast<std::uint32_t>(WireResult::kExpired));
+static_assert(static_cast<std::uint32_t>(AdmitStatus::kOverCapacity) ==
+              static_cast<std::uint32_t>(WireResult::kOverCapacity));
+static_assert(static_cast<std::uint32_t>(AdmitStatus::kShutdown) ==
+              static_cast<std::uint32_t>(WireResult::kShutdown));
+static_assert(static_cast<std::uint32_t>(WireResult::kInternalError) ==
+              kNumStatusNames - 1);
+
+namespace {
+
+const char* const kStatusNames[kNumStatusNames] = {
+    "ok",                     // kOk / kAccepted (admission spells it
+                              // "accepted" — see admit_status_name)
+    "expired",                // kExpired
+    "over-capacity",          // kOverCapacity
+    "shutdown",               // kShutdown
+    "over-connection-limit",  // kOverConnectionLimit
+    "bad-payload",            // kBadPayload
+    "bad-model",              // kBadModel
+    "internal-error",         // kInternalError
+};
+
+}  // namespace
+
+const char* status_name(std::uint32_t code) {
+  return code < kNumStatusNames ? kStatusNames[code] : "unknown";
+}
+
+}  // namespace gnnhls

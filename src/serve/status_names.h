@@ -1,0 +1,28 @@
+// The one status->string table for the serving tier.
+//
+// WireResult is the serving tier's universal outcome code: its first four
+// values mirror AdmitStatus by construction (static_asserts in
+// status_names.cpp), the rest are wire-level rejections. This table names
+// every code exactly once and is used everywhere a status becomes text —
+// wire_result_name(), admit_status_name() error messages, and the
+// `result="..."` labels on the endpoint's per-result metric family — so
+// error strings and metric labels can never drift apart
+// (tests/obs_test.cpp asserts exhaustiveness against the enum).
+//
+// One deliberate special case: admit_status_name(kAccepted) stays
+// "accepted" (its historical error-message spelling) while wire code 0 is
+// "ok" (the response-frame spelling); every other code shares one name.
+#pragma once
+
+#include <cstdint>
+
+namespace gnnhls {
+
+/// Number of named status codes == number of WireResult values.
+inline constexpr std::uint32_t kNumStatusNames = 8;
+
+/// Canonical name for wire-result code `code` (0..kNumStatusNames-1);
+/// "unknown" past the end. Returned pointers are string literals.
+const char* status_name(std::uint32_t code);
+
+}  // namespace gnnhls

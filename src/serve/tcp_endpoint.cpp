@@ -15,6 +15,8 @@
 #include <utility>
 
 #include "dataset/serialize.h"
+#include "obs/trace.h"
+#include "serve/status_names.h"
 #include "train/feature_cache.h"
 
 namespace gnnhls {
@@ -64,6 +66,9 @@ struct TcpEndpoint::Connection {
     /// `future` was never created.
     bool immediate = false;
     ResponseFrame resp;
+    /// Pre-encoded frame bytes (STATS responses); when non-empty the
+    /// writer sends these verbatim instead of encoding `resp`.
+    std::string raw;
     std::future<double> future;     // scheduler-backed entries only
     std::uint64_t uid = 0;          // decoded sample uid (feature eviction)
     bool counts_inflight = false;   // accepted by the scheduler
@@ -84,6 +89,42 @@ TcpEndpoint::TcpEndpoint(ServingScheduler& sched, TcpEndpointConfig cfg)
   if (cfg_.max_inflight < 1) {
     throw std::runtime_error("TcpEndpointConfig.max_inflight must be >= 1");
   }
+
+  if (cfg_.obs.metrics) {
+    registry_ = &MetricsRegistry::global();
+  } else {
+    own_registry_ = std::make_unique<MetricsRegistry>();
+    registry_ = own_registry_.get();
+  }
+  const std::string inst =
+      "ep=\"" + std::to_string(MetricsRegistry::next_instance_id()) + "\"";
+  m_.connections_accepted =
+      registry_->counter("gnnhls_wire_connections_accepted_total", inst);
+  m_.connections_closed =
+      registry_->counter("gnnhls_wire_connections_closed_total", inst);
+  m_.frames_in = registry_->counter("gnnhls_wire_frames_in_total", inst);
+  m_.frames_out = registry_->counter("gnnhls_wire_frames_out_total", inst);
+  m_.bytes_in = registry_->counter("gnnhls_wire_bytes_in_total", inst);
+  m_.bytes_out = registry_->counter("gnnhls_wire_bytes_out_total", inst);
+  m_.decode_errors =
+      registry_->counter("gnnhls_wire_decode_errors_total", inst);
+  m_.rejects_backpressure =
+      registry_->counter("gnnhls_wire_rejects_backpressure_total", inst);
+  m_.rejects_payload =
+      registry_->counter("gnnhls_wire_rejects_payload_total", inst);
+  m_.rejects_sched =
+      registry_->counter("gnnhls_wire_rejects_sched_total", inst);
+  m_.responses_ok = registry_->counter("gnnhls_wire_responses_ok_total", inst);
+  m_.write_failures =
+      registry_->counter("gnnhls_wire_write_failures_total", inst);
+  m_.stats_requests =
+      registry_->counter("gnnhls_wire_stats_requests_total", inst);
+  for (std::uint32_t i = 0; i < kNumStatusNames; ++i) {
+    m_.responses_by_result[i] = registry_->counter(
+        "gnnhls_wire_responses_total",
+        inst + ",result=\"" + status_name(i) + "\"");
+  }
+
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) throw_errno("socket");
   int one = 1;
@@ -161,10 +202,7 @@ void TcpEndpoint::accept_loop() {
       conn->writer = std::thread([this, conn] { writer_loop(conn); });
       conns_.push_back(std::move(conn));
     }
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.connections_accepted;
-    }
+    m_.connections_accepted->add();
     for (auto& c : dead) {
       c->reader.join();
       c->writer.join();
@@ -178,37 +216,40 @@ void TcpEndpoint::reader_loop(std::shared_ptr<Connection> conn) {
   char buf[4096];
   bool poisoned = false;
   for (;;) {
-    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;  // EOF, error, or stop()'s shutdown(SHUT_RD)
+    ssize_t n;
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      stats_.bytes_in += static_cast<std::uint64_t>(n);
+      const ObsSpan span(cfg_.obs.trace, "tcp_read", "net");
+      do {
+        n = ::recv(conn->fd, buf, sizeof(buf), 0);
+      } while (n < 0 && errno == EINTR);
     }
+    if (n <= 0) break;  // EOF, error, or stop()'s shutdown(SHUT_RD)
+    m_.bytes_in->add(static_cast<std::uint64_t>(n));
     decoder.feed(buf, static_cast<std::size_t>(n));
 
-    DecodedFrame frame;
-    WireStatus st;
-    while ((st = decoder.next(frame)) == WireStatus::kFrame) {
+    for (;;) {
+      DecodedFrame frame;
+      WireStatus st;
       {
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++stats_.frames_in;
+        const ObsSpan span(cfg_.obs.trace, "frame_decode", "net");
+        st = decoder.next(frame);
       }
+      if (st != WireStatus::kFrame) {
+        if (wire_status_is_error(st)) poisoned = true;
+        break;
+      }
+      m_.frames_in->add();
       if (frame.type == kWireTypeRequest) {
         handle_request(*conn, std::move(frame.request));
+      } else if (frame.type == kWireTypeStatsRequest) {
+        handle_stats_request(*conn, frame.stats);
       }
       // A response-type frame from a client carries nothing we can act on;
       // it decodes (framing intact) and is dropped.
     }
-    if (wire_status_is_error(st)) {
-      poisoned = true;
-      break;
-    }
+    if (poisoned) break;
   }
-  if (poisoned) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.decode_errors;
-  }
+  if (poisoned) m_.decode_errors->add();
   {
     std::lock_guard<std::mutex> lock(conn->mu);
     conn->reader_done = true;
@@ -217,6 +258,7 @@ void TcpEndpoint::reader_loop(std::shared_ptr<Connection> conn) {
 }
 
 void TcpEndpoint::handle_request(Connection& conn, RequestFrame&& req) {
+  const ObsSpan span(cfg_.obs.trace, "admission", "net");
   Connection::Pending p;
   p.request_id = req.request_id;
 
@@ -224,13 +266,11 @@ void TcpEndpoint::handle_request(Connection& conn, RequestFrame&& req) {
   if (!decoded.ok()) {
     p.immediate = true;
     p.resp = ResponseFrame{req.request_id, WireResult::kBadPayload, 0.0};
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.rejects_payload;
+    m_.rejects_payload->add();
   } else if (req.model >= static_cast<std::uint32_t>(sched_.num_models())) {
     p.immediate = true;
     p.resp = ResponseFrame{req.request_id, WireResult::kBadModel, 0.0};
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.rejects_payload;
+    m_.rejects_payload->add();
   }
 
   {
@@ -240,8 +280,7 @@ void TcpEndpoint::handle_request(Connection& conn, RequestFrame&& req) {
         p.immediate = true;
         p.resp = ResponseFrame{req.request_id,
                                WireResult::kOverConnectionLimit, 0.0};
-        std::lock_guard<std::mutex> slock(stats_mu_);
-        ++stats_.rejects_backpressure;
+        m_.rejects_backpressure->add();
       } else {
         // Decoded once; from here the sample travels by shared_ptr only.
         p.uid = decoded.sample->uid;
@@ -264,15 +303,57 @@ void TcpEndpoint::handle_request(Connection& conn, RequestFrame&& req) {
   conn.cv.notify_all();
 }
 
+void TcpEndpoint::handle_stats_request(Connection& conn,
+                                       const StatsFrame& req) {
+  // Rendered on the reader thread (the writer only moves bytes) and
+  // enqueued like any immediate response, so a scrape never jumps the
+  // queue ahead of answers already pending.
+  m_.stats_requests->add();
+  StatsFrame resp;
+  resp.request_id = req.request_id;
+  resp.text = render_stats_text();
+  Connection::Pending p;
+  p.request_id = req.request_id;
+  p.immediate = true;
+  p.raw = encode_stats_response_frame(resp);
+  {
+    std::lock_guard<std::mutex> lock(conn.mu);
+    conn.pending.push_back(std::move(p));
+  }
+  conn.cv.notify_all();
+}
+
+std::string TcpEndpoint::render_stats_text() const {
+  std::string text = registry_->render_text();
+  // The scheduler may publish to a different registry (e.g. endpoint
+  // private, scheduler global or vice versa) — render both, once.
+  if (&sched_.metrics_registry() != registry_) {
+    text += sched_.metrics_registry().render_text();
+  }
+  return text;
+}
+
 void TcpEndpoint::write_response(Connection& conn, const ResponseFrame& resp) {
+  const ObsSpan span(cfg_.obs.trace, "write_back", "net");
   const std::string bytes = encode_response_frame(resp);
   const bool ok = send_all(conn.fd, bytes.data(), bytes.size());
-  std::lock_guard<std::mutex> lock(stats_mu_);
   if (ok) {
-    ++stats_.frames_out;
-    stats_.bytes_out += bytes.size();
+    m_.frames_out->add();
+    m_.bytes_out->add(bytes.size());
+    m_.responses_by_result[static_cast<std::uint32_t>(resp.result)]->add();
   } else {
-    ++stats_.write_failures;
+    m_.write_failures->add();
+  }
+}
+
+void TcpEndpoint::write_raw_frame(Connection& conn, const std::string& bytes) {
+  const ObsSpan span(cfg_.obs.trace, "write_back", "net");
+  const bool ok = send_all(conn.fd, bytes.data(), bytes.size());
+  if (ok) {
+    m_.frames_out->add();
+    m_.bytes_out->add(bytes.size());
+  } else {
+    m_.write_failures->add();
   }
 }
 
@@ -324,13 +405,10 @@ void TcpEndpoint::writer_loop(std::shared_ptr<Connection> conn) {
       } catch (const std::exception&) {
         resp.result = WireResult::kInternalError;
       }
-      {
-        std::lock_guard<std::mutex> slock(stats_mu_);
-        if (resp.result == WireResult::kOk) {
-          ++stats_.responses_ok;
-        } else {
-          ++stats_.rejects_sched;
-        }
+      if (resp.result == WireResult::kOk) {
+        m_.responses_ok->add();
+      } else {
+        m_.rejects_sched->add();
       }
       // The future resolved, so no forward can still be reading this
       // sample's cached features — safe to drop them.
@@ -346,7 +424,11 @@ void TcpEndpoint::writer_loop(std::shared_ptr<Connection> conn) {
       --conn->inflight;
       lock.unlock();
     }
-    write_response(*conn, resp);
+    if (!p.raw.empty()) {
+      write_raw_frame(*conn, p.raw);
+    } else {
+      write_response(*conn, resp);
+    }
     lock.lock();
   }
   // Drained: tell the peer no more responses are coming (FIN), keep the fd
@@ -355,8 +437,7 @@ void TcpEndpoint::writer_loop(std::shared_ptr<Connection> conn) {
   ::shutdown(conn->fd, SHUT_WR);
   conn->finished = true;
   lock.unlock();
-  std::lock_guard<std::mutex> slock(stats_mu_);
-  ++stats_.connections_closed;
+  m_.connections_closed->add();
 }
 
 void TcpEndpoint::stop() {
@@ -390,8 +471,21 @@ void TcpEndpoint::stop() {
 }
 
 WireStats TcpEndpoint::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  WireStats out;
+  out.connections_accepted = m_.connections_accepted->value();
+  out.connections_closed = m_.connections_closed->value();
+  out.frames_in = m_.frames_in->value();
+  out.frames_out = m_.frames_out->value();
+  out.bytes_in = m_.bytes_in->value();
+  out.bytes_out = m_.bytes_out->value();
+  out.decode_errors = m_.decode_errors->value();
+  out.rejects_backpressure = m_.rejects_backpressure->value();
+  out.rejects_payload = m_.rejects_payload->value();
+  out.rejects_sched = m_.rejects_sched->value();
+  out.responses_ok = m_.responses_ok->value();
+  out.stats_requests = m_.stats_requests->value();
+  out.write_failures = m_.write_failures->value();
+  return out;
 }
 
 // ----- TcpClient -----
@@ -419,6 +513,12 @@ bool TcpClient::send_request(const RequestFrame& req) {
   return send_raw(encode_request_frame(req));
 }
 
+bool TcpClient::send_stats_request(std::uint64_t request_id) {
+  StatsFrame f;
+  f.request_id = request_id;
+  return send_raw(encode_stats_request_frame(f));
+}
+
 bool TcpClient::send_raw(const std::string& bytes) {
   if (fd_ < 0) return false;
   return send_all(fd_, bytes.data(), bytes.size());
@@ -436,6 +536,29 @@ bool TcpClient::recv_response(ResponseFrame& out) {
         return true;
       }
       continue;  // not a response; keep reading
+    }
+    if (st != WireStatus::kNeedMore) return false;  // poisoned stream
+    ssize_t n;
+    do {
+      n = ::recv(fd_, buf, sizeof(buf), 0);
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) return false;  // EOF before a full response
+    decoder_.feed(buf, static_cast<std::size_t>(n));
+  }
+}
+
+bool TcpClient::recv_stats_response(StatsFrame& out) {
+  if (fd_ < 0) return false;
+  char buf[4096];
+  for (;;) {
+    DecodedFrame frame;
+    const WireStatus st = decoder_.next(frame);
+    if (st == WireStatus::kFrame) {
+      if (frame.type == kWireTypeStatsResponse) {
+        out = std::move(frame.stats);
+        return true;
+      }
+      continue;  // not a stats response; keep reading
     }
     if (st != WireStatus::kNeedMore) return false;  // poisoned stream
     ssize_t n;

@@ -52,8 +52,11 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/obs_config.h"
 #include "serve/scheduler.h"
 #include "serve/serve_stats.h"
+#include "serve/status_names.h"
 #include "serve/wire.h"
 
 namespace gnnhls {
@@ -75,6 +78,11 @@ struct TcpEndpointConfig {
   /// server would otherwise grow the cache per request. Tests that want to
   /// inspect the cache can turn it off.
   bool evict_features = true;
+  /// Observability knobs (obs/obs_config.h). Note the STATS wire frame is
+  /// part of the protocol, not of observability: it is always answered,
+  /// rendering whatever registries back this endpoint and its scheduler
+  /// (the global one when obs.metrics, the private ones otherwise).
+  ObsConfig obs;
 };
 
 class TcpEndpoint {
@@ -97,13 +105,47 @@ class TcpEndpoint {
   /// answer everything already accepted, join all threads. Idempotent.
   void stop();
 
-  /// Consistent snapshot of the wire counters.
+  /// Snapshot of the wire counters. Since PR 9 the counters are striped
+  /// registry atomics (obs/metrics.h) updated lock-free on the hot paths;
+  /// the snapshot is exact whenever the endpoint's threads are quiescent
+  /// (connections drained, or after stop()) and monotonically fresh
+  /// mid-flight.
   WireStats stats() const;
+
+  /// The registry holding this endpoint's wire metrics:
+  /// MetricsRegistry::global() when cfg.obs.metrics, else a private
+  /// per-instance registry. Series carry an `ep="<instance>"` label.
+  MetricsRegistry& metrics_registry() const { return *registry_; }
+
+  /// What a STATS wire frame answers: this endpoint's registry rendered as
+  /// text, plus the scheduler's registry when it is a different one.
+  std::string render_stats_text() const;
 
   const TcpEndpointConfig& config() const { return cfg_; }
 
  private:
   struct Connection;
+
+  /// Registry-backed counters behind the WireStats facade. Incremented
+  /// without any lock (striped relaxed atomics).
+  struct Metrics {
+    Counter* connections_accepted;
+    Counter* connections_closed;
+    Counter* frames_in;
+    Counter* frames_out;
+    Counter* bytes_in;
+    Counter* bytes_out;
+    Counter* decode_errors;
+    Counter* rejects_backpressure;
+    Counter* rejects_payload;
+    Counter* rejects_sched;
+    Counter* responses_ok;
+    Counter* write_failures;
+    Counter* stats_requests;
+    /// Responses by result code, one series per WireResult value
+    /// (labels from serve/status_names.h).
+    Counter* responses_by_result[kNumStatusNames];
+  };
 
   void accept_loop();
   void reader_loop(std::shared_ptr<Connection> conn);
@@ -111,16 +153,22 @@ class TcpEndpoint {
   /// Handles one decoded request frame on the reader thread: decode the
   /// payload, enforce backpressure, submit, enqueue the pending response.
   void handle_request(Connection& conn, RequestFrame&& req);
+  /// Handles one STATS request frame on the reader thread: renders the
+  /// registries and enqueues the pre-encoded response.
+  void handle_stats_request(Connection& conn, const StatsFrame& req);
   /// Encodes + sends one response on the writer thread, updating stats.
   void write_response(Connection& conn, const ResponseFrame& resp);
+  /// Sends pre-encoded frame bytes on the writer thread, updating stats.
+  void write_raw_frame(Connection& conn, const std::string& bytes);
 
   ServingScheduler& sched_;
   const TcpEndpointConfig cfg_;
   int listen_fd_ = -1;
   int port_ = 0;
 
-  mutable std::mutex stats_mu_;
-  WireStats stats_;
+  std::unique_ptr<MetricsRegistry> own_registry_;  // !cfg.obs.metrics
+  MetricsRegistry* registry_ = nullptr;
+  Metrics m_{};
 
   std::mutex conns_mu_;  // guards conns_ and stopping_
   std::vector<std::shared_ptr<Connection>> conns_;
@@ -145,10 +193,15 @@ class TcpClient {
 
   /// Sends one request frame. Returns false if the connection is gone.
   bool send_request(const RequestFrame& req);
+  /// Sends one STATS request frame (the metrics scrape).
+  bool send_stats_request(std::uint64_t request_id);
   /// Sends raw bytes verbatim (fault-injection tests tear frames apart).
   bool send_raw(const std::string& bytes);
   /// Blocks for the next response frame. Returns false on EOF/poison.
   bool recv_response(ResponseFrame& out);
+  /// Blocks for the next STATS response frame (skipping other frame
+  /// types). Returns false on EOF/poison.
+  bool recv_stats_response(StatsFrame& out);
   /// Half-close the write side (tells the server no more requests).
   void shutdown_write();
   /// Hard close (mid-request disconnect in fault tests).

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "serve/status_names.h"
+
 namespace gnnhls {
 
 namespace {
@@ -48,17 +50,9 @@ void put_header(std::string& out, std::uint8_t type, std::uint32_t body_len) {
 }  // namespace
 
 std::string wire_result_name(WireResult r) {
-  switch (r) {
-    case WireResult::kOk: return "ok";
-    case WireResult::kExpired: return "expired";
-    case WireResult::kOverCapacity: return "over-capacity";
-    case WireResult::kShutdown: return "shutdown";
-    case WireResult::kOverConnectionLimit: return "over-connection-limit";
-    case WireResult::kBadPayload: return "bad-payload";
-    case WireResult::kBadModel: return "bad-model";
-    case WireResult::kInternalError: return "internal-error";
-  }
-  return "unknown";
+  // One shared table (serve/status_names.h) names wire results, admission
+  // statuses and metric labels, so they cannot drift apart.
+  return status_name(static_cast<std::uint32_t>(r));
 }
 
 WireResult wire_result_from_admit(AdmitStatus s) {
@@ -107,6 +101,27 @@ void append_response_frame(std::string& out, const ResponseFrame& f) {
   put_u64(out, bits);
 }
 
+namespace {
+
+void append_stats_frame(std::string& out, std::uint8_t type,
+                        const StatsFrame& f) {
+  const std::size_t body_len = kWireStatsFixedBytes + f.text.size();
+  out.reserve(out.size() + kWireHeaderBytes + body_len);
+  put_header(out, type, static_cast<std::uint32_t>(body_len));
+  put_u64(out, f.request_id);
+  out.append(f.text);
+}
+
+}  // namespace
+
+void append_stats_request_frame(std::string& out, const StatsFrame& f) {
+  append_stats_frame(out, kWireTypeStatsRequest, f);
+}
+
+void append_stats_response_frame(std::string& out, const StatsFrame& f) {
+  append_stats_frame(out, kWireTypeStatsResponse, f);
+}
+
 std::string encode_request_frame(const RequestFrame& f) {
   std::string out;
   append_request_frame(out, f);
@@ -116,6 +131,18 @@ std::string encode_request_frame(const RequestFrame& f) {
 std::string encode_response_frame(const ResponseFrame& f) {
   std::string out;
   append_response_frame(out, f);
+  return out;
+}
+
+std::string encode_stats_request_frame(const StatsFrame& f) {
+  std::string out;
+  append_stats_request_frame(out, f);
+  return out;
+}
+
+std::string encode_stats_response_frame(const StatsFrame& f) {
+  std::string out;
+  append_stats_response_frame(out, f);
   return out;
 }
 
@@ -141,7 +168,8 @@ WireStatus WireDecoder::next(DecodedFrame& out) {
   const std::uint8_t type = get_u8(h + 6);
   const std::uint32_t body_len = get_u32(h + 8);
   if (major != kWireMajor) return poison_ = WireStatus::kUnsupportedMajor;
-  if (type != kWireTypeRequest && type != kWireTypeResponse) {
+  if (type != kWireTypeRequest && type != kWireTypeResponse &&
+      type != kWireTypeStatsRequest && type != kWireTypeStatsResponse) {
     return poison_ = WireStatus::kBadType;
   }
   if (body_len > max_body_) return poison_ = WireStatus::kOversized;
@@ -161,6 +189,13 @@ WireStatus WireDecoder::next(DecodedFrame& out) {
     out.request.deadline_us = static_cast<std::int64_t>(get_u64(body + 16));
     out.request.payload.assign(body + kWireRequestFixedBytes,
                                body_len - kWireRequestFixedBytes);
+  } else if (type == kWireTypeStatsRequest || type == kWireTypeStatsResponse) {
+    if (body_len < kWireStatsFixedBytes) {
+      return poison_ = WireStatus::kBadBody;
+    }
+    out.stats.request_id = get_u64(body);
+    out.stats.text.assign(body + kWireStatsFixedBytes,
+                          body_len - kWireStatsFixedBytes);
   } else {
     if (body_len < kWireResponseBodyBytes) {
       return poison_ = WireStatus::kBadBody;

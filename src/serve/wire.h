@@ -7,7 +7,8 @@
 //   0       4     magic 0x57484E47 ("GNHW" as bytes, little-endian)
 //   4       1     version major (kWireMajor)
 //   5       1     version minor (kWireMinor)
-//   6       1     frame type (1 = request, 2 = response)
+//   6       1     frame type (1 = request, 2 = response,
+//                 3 = stats request, 4 = stats response)
 //   7       1     reserved (written 0; decoders ignore it — minor-version
 //                 extension space)
 //   8       4     body length in bytes (u32, little-endian)
@@ -29,6 +30,17 @@
 //   12      8     prediction (IEEE-754 double bit pattern, little-endian;
 //                 all-zero when result != kOk) — bit-exact, so the serving
 //                 determinism contract survives the wire
+//
+// Stats request body (minor version 1 — the observability scrape):
+//
+//   0       8     request id (u64) — echoed in the stats response
+//
+// Stats response body:
+//
+//   0       8     request id (u64)
+//   8       ...   Prometheus-style text exposition
+//                 (MetricsRegistry::render_text), UTF-8, no terminator —
+//                 the body length delimits it
 //
 // All multi-byte fields are little-endian regardless of host order.
 //
@@ -55,12 +67,18 @@ namespace gnnhls {
 
 inline constexpr std::uint32_t kWireMagic = 0x57484E47u;  // "GNHW"
 inline constexpr std::uint8_t kWireMajor = 1;
-inline constexpr std::uint8_t kWireMinor = 0;
+/// Minor 1 added the stats frame pair (types 3/4). Minor-version bumps are
+/// decode-compatible by the versioning rule above: a minor-0 decoder never
+/// sees a stats frame unless it asks for one.
+inline constexpr std::uint8_t kWireMinor = 1;
 inline constexpr std::uint8_t kWireTypeRequest = 1;
 inline constexpr std::uint8_t kWireTypeResponse = 2;
+inline constexpr std::uint8_t kWireTypeStatsRequest = 3;
+inline constexpr std::uint8_t kWireTypeStatsResponse = 4;
 inline constexpr std::size_t kWireHeaderBytes = 12;
 inline constexpr std::size_t kWireRequestFixedBytes = 24;
 inline constexpr std::size_t kWireResponseBodyBytes = 20;
+inline constexpr std::size_t kWireStatsFixedBytes = 8;
 /// Default cap on a frame body. A hostile length prefix is rejected with
 /// kOversized before any allocation of that size happens.
 inline constexpr std::size_t kWireDefaultMaxBody = 16u << 20;  // 16 MiB
@@ -102,11 +120,23 @@ struct ResponseFrame {
   double prediction = 0.0;  // meaningful only when result == kOk
 };
 
+/// One struct covers both stats frame types: a stats request's `text` is
+/// empty on the wire (decoders tolerate and ignore a non-empty one); a
+/// stats response's `text` is the rendered metrics exposition.
+struct StatsFrame {
+  std::uint64_t request_id = 0;
+  std::string text;
+};
+
 /// Appends one encoded frame to `out` (header + body).
 void append_request_frame(std::string& out, const RequestFrame& f);
 void append_response_frame(std::string& out, const ResponseFrame& f);
+void append_stats_request_frame(std::string& out, const StatsFrame& f);
+void append_stats_response_frame(std::string& out, const StatsFrame& f);
 std::string encode_request_frame(const RequestFrame& f);
 std::string encode_response_frame(const ResponseFrame& f);
+std::string encode_stats_request_frame(const StatsFrame& f);
+std::string encode_stats_response_frame(const StatsFrame& f);
 
 /// What WireDecoder::next produced. kFrame and kNeedMore are the live
 /// states; everything else is a poison state (see class comment).
@@ -125,13 +155,14 @@ inline bool wire_status_is_error(WireStatus s) {
   return s != WireStatus::kFrame && s != WireStatus::kNeedMore;
 }
 
-/// A decoded frame: exactly one of request/response is meaningful,
-/// discriminated by `type`.
+/// A decoded frame: exactly one of request/response/stats is meaningful,
+/// discriminated by `type` (stats covers both stats frame types).
 struct DecodedFrame {
   std::uint8_t type = 0;
   std::uint8_t version_minor = 0;
   RequestFrame request;
   ResponseFrame response;
+  StatsFrame stats;
 };
 
 class WireDecoder {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "support/arena.h"
 #include "support/parallel.h"
 
@@ -48,6 +49,7 @@ long Trainer::fit(BatchPlan& plan,
                               .grad_clip = cfg_.grad_clip});
   Rng dropout_rng(dropout_seed_);
   for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    const ObsSpan epoch_span(cfg_.obs.trace, "epoch", "train");
     opt.set_lr(lr_at_epoch(cfg_.lr, epoch, cfg_.epochs));
     if (plan.batched()) {
       run_batched_epoch(plan, opt, epoch);
@@ -95,6 +97,7 @@ void Trainer::run_batched_epoch(BatchPlan& plan, Adam& opt, int epoch) {
     // position, so the partition shape (and thread scheduling) cannot leak
     // into the numbers — only into the wall clock.
     parallel_shards(shards, [&](int s) {
+      const ObsSpan shard_span(cfg_.obs.trace, "shard", "train");
       const int lo = s * n / shards;
       const int hi = (s + 1) * n / shards;
       for (int b = lo; b < hi; ++b) {

@@ -27,6 +27,7 @@
 #include <functional>
 
 #include "nn/adam.h"
+#include "obs/obs_config.h"
 #include "train/batch_plan.h"
 
 namespace gnnhls {
@@ -71,6 +72,10 @@ struct TrainConfig {
   /// and is left on the heap.
   bool arena = false;
   std::uint64_t seed = 1;
+  /// Observability knobs (obs/obs_config.h): obs.trace emits epoch/shard
+  /// spans into the process-wide TraceCollector when it is active.
+  /// Execution-only — the training trajectory is bit-identical either way.
+  ObsConfig obs;
 };
 
 /// Step learning-rate decay: full rate for the first 60% of epochs, then

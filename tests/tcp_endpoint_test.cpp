@@ -149,6 +149,41 @@ TEST(TcpEndpointTest, LoopbackRoundTripBitIdentical) {
   EXPECT_GT(st.bytes_out, 0U);
 }
 
+TEST(TcpEndpointTest, StatsScrapeOverSocket) {
+  EndpointFixture& fx = fixture();
+  ServingScheduler sched({&fx.lut}, serving_cfg());
+  TcpEndpoint ep(sched);
+  TcpClient client(ep.port());
+  // Serve a couple of requests first so the scraped counters are nonzero.
+  for (std::uint64_t i = 0; i < 2; ++i) {
+    ASSERT_TRUE(client.send_request(make_request(i, fx.samples[i])));
+  }
+  for (int i = 0; i < 2; ++i) {
+    ResponseFrame resp;
+    ASSERT_TRUE(client.recv_response(resp));
+    EXPECT_EQ(resp.result, WireResult::kOk);
+  }
+  ASSERT_TRUE(client.send_stats_request(42));
+  StatsFrame sf;
+  ASSERT_TRUE(client.recv_stats_response(sf));
+  EXPECT_EQ(sf.request_id, 42U);
+  // The scrape renders the endpoint's registry AND its scheduler's — with
+  // obs off these are private per-instance registries, still scrapeable
+  // (the STATS frame is protocol surface, not observability).
+  for (const char* family :
+       {"gnnhls_wire_frames_in_total", "gnnhls_wire_responses_ok_total",
+        "gnnhls_wire_stats_requests_total", "gnnhls_sched_submitted_total",
+        "gnnhls_sched_completed_total", "gnnhls_sched_latency_us_bucket"}) {
+    EXPECT_NE(sf.text.find(family), std::string::npos) << family;
+  }
+  // The per-result response family uses the shared status-name labels.
+  EXPECT_NE(sf.text.find("result=\"ok\""), std::string::npos);
+  client.close();
+  ep.stop();
+  EXPECT_EQ(ep.stats().responses_ok, 2U);
+  EXPECT_EQ(ep.stats().stats_requests, 1U);
+}
+
 TEST(TcpEndpointTest, ConcurrentClientsBitIdentical) {
   // N concurrent client sockets x M requests each, all answered
   // bit-identically while micro-batches mix traffic from every connection.
