@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <numeric>
 
 #include "gnn/graph_batch.h"
 #include "support/arena.h"
@@ -22,6 +23,20 @@ Trainer::Hooks classifier_hooks(const NodeClassifier& classifier) {
   };
   hooks.loss = [](Tape& tape, const Var& logits, const Matrix& labels) {
     return tape.bce_with_logits_loss(logits, labels);
+  };
+  return hooks;
+}
+
+/// Regressor training hooks: model forward + batch-mean MSE.
+Trainer::Hooks regressor_hooks(const GraphRegressor& regressor) {
+  Trainer::Hooks hooks;
+  hooks.forward = [&regressor](Tape& tape, const GraphTensors& gt,
+                               const Matrix& feats, Rng& rng) {
+    return regressor.forward(tape, gt, feats, rng, true);
+  };
+  hooks.loss = [](Tape& tape, const Var& pred, const Matrix& target) {
+    // One prediction row per member graph; MSE averages over the batch.
+    return tape.mse_loss(pred, target);
   };
   return hooks;
 }
@@ -88,32 +103,83 @@ Matrix QorPredictor::infused_features(const Sample& s) const {
 }
 
 void QorPredictor::fit_classifier(const std::vector<Sample>& samples,
-                                  const std::vector<int>& train_idx) {
-  Rng init_rng(train_cfg_.seed * 7919 + 13);
+                                  const std::vector<int>& train_idx,
+                                  std::uint64_t seed) {
+  Rng init_rng(seed * 7919 + 13);
   classifier_ = std::make_unique<NodeClassifier>(
       model_cfg_, InputFeatureBuilder::feature_dim(Approach::kOffTheShelf),
       init_rng);
-  BatchPlan plan = classifier_plan(samples, train_idx, train_cfg_);
-  Trainer trainer(*classifier_, train_cfg_, classifier_hooks(*classifier_),
-                  train_cfg_.seed * 17 + 3);
+  TrainConfig tc = train_cfg_;
+  tc.seed = seed;
+  BatchPlan plan = classifier_plan(samples, train_idx, tc);
+  Trainer trainer(*classifier_, tc, classifier_hooks(*classifier_),
+                  seed * 17 + 3);
   trainer.fit(plan, nullptr);  // -I keeps the last classifier epoch
 }
 
-double QorPredictor::fit(const std::vector<Sample>& samples,
-                         const SplitIndices& split, Metric metric) {
+FitReport QorPredictor::train_regressor(BatchPlan& plan, Trainer& trainer,
+                                        const FitOptions& opts) {
+  FitReport report;
+  std::vector<Matrix> best_params;
+  AdamState best_opt;
+  const bool select_best =
+      opts.validation == FitOptions::Validation::kBestEpoch;
+  const FitReport run = trainer.fit(plan, opts, [&](int epoch) {
+    // Validation model selection. NOTE: -I validates through the full
+    // hierarchical path (classifier bits), matching deployment.
+    const double val = evaluate_mape(corpus_, split_.val);
+    report.val_curve.push_back(val);
+    if (report.best_epoch < 0 || val < report.best_val) {
+      report.best_val = val;
+      report.best_epoch = epoch;
+      if (select_best) {
+        // Snapshot both halves of the checkpoint: a later warm start must
+        // resume from the SELECTED model, weights and moments together.
+        best_params = snapshot_parameters(*regressor_);
+        best_opt = trainer.export_optimizer_state();
+      }
+    }
+  });
+  report.epochs_run = run.epochs_run;
+  report.steps = run.steps;
+  report.warm_started = run.warm_started;
+  if (select_best && !best_params.empty()) {
+    restore_parameters(*regressor_, best_params);
+    adam_state_ = std::move(best_opt);
+  } else {
+    adam_state_ = trainer.export_optimizer_state();
+  }
+  return report;
+}
+
+FitReport QorPredictor::fit(const std::vector<Sample>& samples,
+                            const SplitIndices& split, Metric metric,
+                            const FitOptions& opts) {
   metric_ = metric;
   GNNHLS_CHECK(!split.train.empty() && !split.val.empty(),
                "fit: empty train/val split");
   tune_malloc_for_tensor_workloads();  // epochs of tape churn ahead
+  const std::uint64_t seed = opts.seed != 0 ? opts.seed : train_cfg_.seed;
+  const bool warm = opts.warm_start && regressor_ != nullptr;
 
-  if (approach_ == Approach::kKnowledgeInfused &&
-      infused_ == InfusedInference::kSelfInferred) {
-    fit_classifier(samples, split.train);
+  if (!warm) {
+    if (approach_ == Approach::kKnowledgeInfused &&
+        infused_ == InfusedInference::kSelfInferred) {
+      fit_classifier(samples, split.train, seed);
+    }
+    Rng init_rng(seed * 104729 + static_cast<int>(metric));
+    regressor_ = std::make_unique<GraphRegressor>(
+        model_cfg_, InputFeatureBuilder::feature_dim(approach_), init_rng);
+    adam_state_.reset();
   }
 
-  Rng init_rng(train_cfg_.seed * 104729 + static_cast<int>(metric));
-  regressor_ = std::make_unique<GraphRegressor>(
-      model_cfg_, InputFeatureBuilder::feature_dim(approach_), init_rng);
+  // Retain the corpus and split (Sample copies keep their uids, so cached
+  // features and batch cores stay shared) for later refit() segments.
+  corpus_ = samples;
+  split_ = split;
+  fit_seed_ = seed;
+  refits_ = 0;
+  segments_.clear();
 
   // -I trains on ground-truth type bits (knowledge infusion), so training
   // features are a pure function of (sample, approach) for every approach
@@ -121,44 +187,113 @@ double QorPredictor::fit(const std::vector<Sample>& samples,
   // approach) — never on the fitted metric, which lives in the labels — so
   // per-metric refits over the same split share one union assembly through
   // the BatchCoreCache.
-  const std::uint64_t order_seed = train_cfg_.seed * 31 + 1;
+  const std::uint64_t order_seed = seed * 31 + 1;
+  const std::string key = BatchPlan::share_key(
+      "train/reg/a" + std::to_string(static_cast<int>(approach_)), order_seed,
+      train_cfg_.batch_size, corpus_, split.train);
   BatchPlan plan = BatchPlan::build(
-      samples, split.train, train_cfg_.batch_size,
+      corpus_, split.train, train_cfg_.batch_size,
       [this](const Sample& s) -> const Matrix& {
         return FeatureCache::global().features(s, approach_);
       },
-      [this, metric](const Sample& s) {
-        return Matrix(1, 1, encode_target(metric_of(s.truth, metric), metric));
+      [this](const Sample& s) {
+        return Matrix(1, 1,
+                      encode_target(metric_of(s.truth, metric_), metric_));
       },
-      Rng(order_seed),
-      BatchPlan::share_key(
-          "train/reg/a" + std::to_string(static_cast<int>(approach_)),
-          order_seed, train_cfg_.batch_size, samples, split.train));
+      Rng(order_seed), key);
+  // Segment 0 of any future refit: the same (idx, seed, key) triple this
+  // plan resolved its cores under, so the refit's base segment is a pure
+  // BatchCoreCache hit.
+  segments_.push_back(BatchPlan::Segment{split.train, order_seed, key});
 
-  Trainer::Hooks hooks;
-  hooks.forward = [this](Tape& tape, const GraphTensors& gt,
-                         const Matrix& feats, Rng& rng) {
-    return regressor_->forward(tape, gt, feats, rng, true);
-  };
-  hooks.loss = [](Tape& tape, const Var& pred, const Matrix& target) {
-    // One prediction row per member graph; MSE averages over the batch.
-    return tape.mse_loss(pred, target);
-  };
-  Trainer trainer(*regressor_, train_cfg_, hooks, train_cfg_.seed * 17 + 2);
+  Trainer trainer(*regressor_, train_cfg_, regressor_hooks(*regressor_),
+                  seed * 17 + 2);
+  if (warm && adam_state_) trainer.import_optimizer_state(*adam_state_);
+  return train_regressor(plan, trainer, opts);
+}
 
-  double best_val = std::numeric_limits<double>::infinity();
-  std::vector<Matrix> best_params;
-  trainer.fit(plan, [&](int /*epoch*/) {
-    // Validation model selection. NOTE: -I validates through the full
-    // hierarchical path (classifier bits), matching deployment.
-    const double val = evaluate_mape(samples, split.val);
-    if (val < best_val) {
-      best_val = val;
-      best_params = snapshot_parameters(*regressor_);
-    }
-  });
-  if (!best_params.empty()) restore_parameters(*regressor_, best_params);
-  return best_val;
+double QorPredictor::fit(const std::vector<Sample>& samples,
+                         const SplitIndices& split, Metric metric) {
+  return fit(samples, split, metric, FitOptions{}).best_val;
+}
+
+FitOptions QorPredictor::refit_defaults() {
+  FitOptions opts;
+  opts.warm_start = true;
+  opts.epochs = 6;
+  opts.validation = FitOptions::Validation::kFinalEpoch;
+  return opts;
+}
+
+FitReport QorPredictor::refit(const std::vector<Sample>& new_samples,
+                              const FitOptions& opts) {
+  GNNHLS_CHECK(regressor_ != nullptr && !corpus_.empty(), "refit before fit");
+  GNNHLS_CHECK(!new_samples.empty(), "refit: no feedback samples");
+  tune_malloc_for_tensor_workloads();
+  ++refits_;
+  const std::uint64_t gen = static_cast<std::uint64_t>(refits_);
+  const std::uint64_t seed = opts.seed != 0 ? opts.seed : fit_seed_;
+
+  // Pay the delta's feature construction once, up front, in input order —
+  // every later touch (plan assembly, scoring) is a FeatureCache hit.
+  FeatureCache::global().warm(new_samples, approach_);
+
+  const int base = static_cast<int>(corpus_.size());
+  corpus_.insert(corpus_.end(), new_samples.begin(), new_samples.end());
+  std::vector<int> delta_idx(new_samples.size());
+  std::iota(delta_idx.begin(), delta_idx.end(), base);
+
+  if (!opts.warm_start) {
+    // Cold refit: retrain from a fresh seeded init over the grown corpus
+    // (the -I classifier is kept either way — feedback refits sharpen the
+    // regressor only).
+    Rng init_rng(seed * 104729 + static_cast<int>(metric_));
+    regressor_ = std::make_unique<GraphRegressor>(
+        model_cfg_, InputFeatureBuilder::feature_dim(approach_), init_rng);
+    adam_state_.reset();
+  }
+
+  const auto feature_of = [this](const Sample& s) -> const Matrix& {
+    return FeatureCache::global().features(s, approach_);
+  };
+  const auto label_of = [this](const Sample& s) {
+    return Matrix(1, 1, encode_target(metric_of(s.truth, metric_), metric_));
+  };
+
+  // The delta becomes its own segment with generation-salted seeds (pure
+  // functions of (fit seed, generation): refit trajectories are reproducible
+  // but decorrelated across rounds).
+  const std::uint64_t seg_seed = seed * 31 + 1 + gen * 0x9E3779B9ULL;
+  BatchPlan::Segment seg;
+  seg.idx = delta_idx;
+  seg.order_seed = seg_seed;
+  seg.share_key = BatchPlan::share_key(
+      "train/reg/a" + std::to_string(static_cast<int>(approach_)), seg_seed,
+      train_cfg_.batch_size, corpus_, delta_idx);
+  segments_.push_back(std::move(seg));
+
+  BatchPlan plan =
+      train_cfg_.batch_size <= 1
+          // Legacy mode has no unions to reuse; train the concatenated
+          // index list through the plain per-sample path.
+          ? [&] {
+              std::vector<int> all;
+              for (const BatchPlan::Segment& s : segments_) {
+                all.insert(all.end(), s.idx.begin(), s.idx.end());
+              }
+              return BatchPlan::build(corpus_, all, train_cfg_.batch_size,
+                                      feature_of, label_of, Rng(seg_seed));
+            }()
+          : BatchPlan::build_segments(corpus_, segments_,
+                                      train_cfg_.batch_size, feature_of,
+                                      label_of, Rng(seed * 31 + 11 + gen));
+
+  Trainer trainer(*regressor_, train_cfg_, regressor_hooks(*regressor_),
+                  seed * 17 + 2 + gen * 0x85EBCA6BULL);
+  if (opts.warm_start && adam_state_) {
+    trainer.import_optimizer_state(*adam_state_);
+  }
+  return train_regressor(plan, trainer, opts);
 }
 
 double QorPredictor::predict(const Sample& sample) const {
@@ -282,29 +417,59 @@ NodeTypePredictor::NodeTypePredictor(ModelConfig model_cfg,
                                      TrainConfig train_cfg)
     : model_cfg_(model_cfg), train_cfg_(train_cfg) {}
 
-double NodeTypePredictor::fit(const std::vector<Sample>& samples,
-                              const SplitIndices& split) {
+FitReport NodeTypePredictor::fit(const std::vector<Sample>& samples,
+                                 const SplitIndices& split,
+                                 const FitOptions& opts) {
   tune_malloc_for_tensor_workloads();
-  Rng init_rng(train_cfg_.seed * 7919 + 13);
-  classifier_ = std::make_unique<NodeClassifier>(
-      model_cfg_, InputFeatureBuilder::feature_dim(Approach::kOffTheShelf),
-      init_rng);
-  BatchPlan plan = classifier_plan(samples, split.train, train_cfg_);
-  Trainer trainer(*classifier_, train_cfg_, classifier_hooks(*classifier_),
-                  train_cfg_.seed * 17 + 3);
+  const std::uint64_t seed = opts.seed != 0 ? opts.seed : train_cfg_.seed;
+  const bool warm = opts.warm_start && classifier_ != nullptr;
+  if (!warm) {
+    Rng init_rng(seed * 7919 + 13);
+    classifier_ = std::make_unique<NodeClassifier>(
+        model_cfg_, InputFeatureBuilder::feature_dim(Approach::kOffTheShelf),
+        init_rng);
+    adam_state_.reset();
+  }
+  TrainConfig tc = train_cfg_;
+  tc.seed = seed;
+  BatchPlan plan = classifier_plan(samples, split.train, tc);
+  Trainer trainer(*classifier_, tc, classifier_hooks(*classifier_),
+                  seed * 17 + 3);
+  if (warm && adam_state_) trainer.import_optimizer_state(*adam_state_);
 
-  double best_val = 0.0;
+  FitReport report;
   std::vector<Matrix> best_params;
-  trainer.fit(plan, [&](int /*epoch*/) {
+  AdamState best_opt;
+  const bool select_best =
+      opts.validation == FitOptions::Validation::kBestEpoch;
+  const FitReport run = trainer.fit(plan, opts, [&](int epoch) {
     const NodeClassifierScores val = evaluate(samples, split.val);
     const double mean_acc = (val.dsp + val.lut + val.ff) / 3.0;
-    if (mean_acc > best_val) {
-      best_val = mean_acc;
-      best_params = snapshot_parameters(*classifier_);
+    report.val_curve.push_back(mean_acc);
+    if (report.best_epoch < 0 || mean_acc > report.best_val) {
+      report.best_val = mean_acc;
+      report.best_epoch = epoch;
+      if (select_best) {
+        best_params = snapshot_parameters(*classifier_);
+        best_opt = trainer.export_optimizer_state();
+      }
     }
   });
-  if (!best_params.empty()) restore_parameters(*classifier_, best_params);
-  return best_val;
+  report.epochs_run = run.epochs_run;
+  report.steps = run.steps;
+  report.warm_started = run.warm_started;
+  if (select_best && !best_params.empty()) {
+    restore_parameters(*classifier_, best_params);
+    adam_state_ = std::move(best_opt);
+  } else {
+    adam_state_ = trainer.export_optimizer_state();
+  }
+  return report;
+}
+
+double NodeTypePredictor::fit(const std::vector<Sample>& samples,
+                              const SplitIndices& split) {
+  return fit(samples, split, FitOptions{}).best_val;
 }
 
 NodeClassifierScores NodeTypePredictor::evaluate(

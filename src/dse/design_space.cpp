@@ -1,11 +1,13 @@
 #include "dse/design_space.h"
 
 #include <cstdio>
+#include <optional>
 #include <stdexcept>
 
 #include "frontend/lower.h"
 #include "suites/variants.h"
 #include "support/check.h"
+#include "support/parallel.h"
 
 namespace gnnhls {
 
@@ -76,6 +78,20 @@ Sample DesignSpace::lower_candidate(const DesignPoint& p) const {
   s.tensors = GraphTensors::build(s.prog.graph);
   s.origin = "dse/" + kernel_name_ + "/" + p.label();
   return s;
+}
+
+std::vector<Sample> DesignSpace::lower_candidates() const {
+  const std::vector<DesignPoint> points = enumerate();
+  const int n = static_cast<int>(points.size());
+  std::vector<std::optional<Sample>> slots(static_cast<std::size_t>(n));
+  parallel_shards(n, [&](int i) {
+    const std::size_t s = static_cast<std::size_t>(i);
+    slots[s].emplace(lower_candidate(points[s]));
+  });
+  std::vector<Sample> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (auto& slot : slots) out.push_back(std::move(*slot));
+  return out;
 }
 
 DesignSpace make_kernel_design_space(const std::string& kernel,

@@ -78,6 +78,12 @@ class DesignSpace {
   /// synthesized — the whole point of model-in-the-loop DSE.)
   Sample lower_candidate(const DesignPoint& p) const;
 
+  /// Lowers every enumerated point, in enumeration order, across the
+  /// process thread pool: slot i of the result is lower_candidate() of the
+  /// point with index i, byte-identical regardless of pool width (each
+  /// shard fills its own pre-sized slot).
+  std::vector<Sample> lower_candidates() const;
+
  private:
   std::string kernel_name_;
   Builder builder_;

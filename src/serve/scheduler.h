@@ -56,7 +56,12 @@
 // Threading (real mode): submit()/predict_many()/stats()/shutdown() are
 // safe from any number of threads. Models are shared read-only — the
 // scheduler borrows fitted predictors and requires that nobody re-fits
-// them while serving.
+// them while a request is in flight. Quiescent refits ARE safe: once
+// every submitted future has resolved, the workers are parked outside
+// model code, and the promise/future + queue-mutex pairs give the
+// happens-before edges that make refit-between-calls race-free. That is
+// the contract Explorer::active_halving leans on when it refits between
+// scoring rounds on the ServingScorer path.
 #pragma once
 
 #include <algorithm>
@@ -228,7 +233,9 @@ class ServingScheduler {
   };
 
   /// Borrows fitted predictors (one model id per entry, in order); they
-  /// must outlive the scheduler and must not be re-fit while serving.
+  /// must outlive the scheduler and must not be re-fit while a request is
+  /// in flight (refitting while the scheduler is quiescent — every issued
+  /// future resolved — is fine; see the threading note above).
   /// Spawns cfg.workers threads unless cfg.virtual_time.
   ServingScheduler(std::vector<const QorPredictor*> models,
                    SchedulerConfig cfg = {});

@@ -44,6 +44,15 @@ const Matrix& FeatureCache::node_type_labels(const Sample& s) {
   });
 }
 
+std::size_t FeatureCache::warm(const std::vector<Sample>& samples,
+                               Approach a) {
+  const std::uint64_t misses_before =
+      misses_.load(std::memory_order_relaxed);
+  for (const Sample& s : samples) features(s, a);
+  return static_cast<std::size_t>(misses_.load(std::memory_order_relaxed) -
+                                  misses_before);
+}
+
 void FeatureCache::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();

@@ -43,6 +43,14 @@ class FeatureCache {
   /// Memoized InputFeatureBuilder::node_type_labels(s.graph()).
   const Matrix& node_type_labels(const Sample& s);
 
+  /// Bulk prefetch: builds and caches features(s, a) for every sample, in
+  /// input order (a deterministic fill order keeps hit/miss accounting
+  /// reproducible). Returns the number of entries that were newly built.
+  /// Refit rounds warm the feedback delta here before plan assembly so the
+  /// new samples' feature construction is paid once, up front, off the
+  /// training path.
+  std::size_t warm(const std::vector<Sample>& samples, Approach a);
+
   /// Drops every entry (tests; long-lived processes discarding a dataset).
   /// Invalidates every outstanding reference: must not race with fits,
   /// evaluations or a live ServingBatcher that could still read them.

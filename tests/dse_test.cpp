@@ -4,6 +4,9 @@
 // and across the direct predict_many vs ServingBatcher scoring paths.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
+
 #include "dse/explorer.h"
 #include "suites/variants.h"
 #include "support/parallel.h"
@@ -128,29 +131,54 @@ struct Trained {
   QorPredictor ff;
 };
 
-/// One tiny LUT + FF predictor pair, trained once and shared by all
-/// explorer tests (fitting dominates test runtime).
-const Trained& trained_predictors() {
-  static const Trained* trained = [] {
+/// Training corpus + configs shared by every model the explorer tests fit
+/// (including the fresh per-test models active-loop tests need, since
+/// refitting mutates a model in place).
+struct TrainSetup {
+  std::vector<Sample> corpus;
+  SplitIndices split;
+  ModelConfig mc;
+  TrainConfig tc;
+};
+
+const TrainSetup& train_setup() {
+  static const TrainSetup* setup = [] {
+    auto* s = new TrainSetup;
     SyntheticDatasetConfig dc;
     dc.kind = GraphKind::kCdfg;
     dc.num_graphs = 60;
     dc.seed = 33;
-    const std::vector<Sample> corpus = build_synthetic_dataset(dc);
-    const SplitIndices split =
-        split_80_10_10(static_cast<int>(corpus.size()), 3);
-    ModelConfig mc;
-    mc.kind = GnnKind::kRgcn;
-    mc.hidden = 16;
-    mc.layers = 2;
-    TrainConfig tc;
-    tc.epochs = 6;
-    tc.lr = 1e-2F;
-    tc.batch_size = 8;
-    auto* t = new Trained{QorPredictor(Approach::kOffTheShelf, mc, tc),
-                          QorPredictor(Approach::kOffTheShelf, mc, tc)};
-    t->lut.fit(corpus, split, Metric::kLut);
-    t->ff.fit(corpus, split, Metric::kFf);
+    s->corpus = build_synthetic_dataset(dc);
+    s->split = split_80_10_10(static_cast<int>(s->corpus.size()), 3);
+    s->mc.kind = GnnKind::kRgcn;
+    s->mc.hidden = 16;
+    s->mc.layers = 2;
+    s->tc.epochs = 6;
+    s->tc.lr = 1e-2F;
+    s->tc.batch_size = 8;
+    return s;
+  }();
+  return *setup;
+}
+
+/// A freshly fitted predictor, bitwise identical on every call — the model
+/// active-loop tests hand to active_halving (which refits it in place).
+QorPredictor fresh_predictor(Metric metric) {
+  const TrainSetup& s = train_setup();
+  QorPredictor p(Approach::kOffTheShelf, s.mc, s.tc);
+  p.fit(s.corpus, s.split, metric, FitOptions{});
+  return p;
+}
+
+/// One tiny LUT + FF predictor pair, trained once and shared by all
+/// read-only explorer tests (fitting dominates test runtime).
+const Trained& trained_predictors() {
+  static const Trained* trained = [] {
+    const TrainSetup& s = train_setup();
+    auto* t = new Trained{QorPredictor(Approach::kOffTheShelf, s.mc, s.tc),
+                          QorPredictor(Approach::kOffTheShelf, s.mc, s.tc)};
+    t->lut.fit(s.corpus, s.split, Metric::kLut);
+    t->ff.fit(s.corpus, s.split, Metric::kFf);
     return t;
   }();
   return *trained;
@@ -174,6 +202,7 @@ void expect_identical_results(const DseResult& a, const DseResult& b) {
   for (std::size_t i = 0; i < a.candidates.size(); ++i) {
     EXPECT_EQ(a.candidates[i].point.label(), b.candidates[i].point.label());
     EXPECT_EQ(a.candidates[i].predicted, b.candidates[i].predicted);
+    EXPECT_EQ(a.candidates[i].uncertainty, b.candidates[i].uncertainty);
     EXPECT_EQ(a.candidates[i].synthesized, b.candidates[i].synthesized);
     EXPECT_EQ(a.candidates[i].latency_cycles, b.candidates[i].latency_cycles);
     for (Metric m : kAllMetrics) {
@@ -186,6 +215,15 @@ void expect_identical_results(const DseResult& a, const DseResult& b) {
   EXPECT_EQ(a.best, b.best);
   EXPECT_EQ(a.hls_runs, b.hls_runs);
   EXPECT_EQ(a.survivors_per_round, b.survivors_per_round);
+  // Active-loop trace (empty/default for the static strategies).
+  EXPECT_EQ(a.refits, b.refits);
+  EXPECT_EQ(a.fed_back, b.fed_back);
+  EXPECT_EQ(a.acquisition, b.acquisition);
+  ASSERT_EQ(a.refit_reports.size(), b.refit_reports.size());
+  for (std::size_t i = 0; i < a.refit_reports.size(); ++i) {
+    EXPECT_EQ(a.refit_reports[i].epochs_run, b.refit_reports[i].epochs_run);
+    EXPECT_EQ(a.refit_reports[i].steps, b.refit_reports[i].steps);
+  }
 }
 
 TEST(ExplorerTest, ExhaustiveSynthesizesEveryPoint) {
@@ -311,6 +349,261 @@ TEST(ExplorerTest, ConfigValidation) {
   const PredictorScorer empty_scorer(
       std::vector<std::pair<Metric, const QorPredictor*>>{});
   EXPECT_THROW(empty_scorer.score(Metric::kLut, {}), std::invalid_argument);
+}
+
+// ----- ModelTable -----
+
+TEST(ModelTableTest, RegistrationAndLookup) {
+  const Trained& t = trained_predictors();
+  ModelTable table;
+  EXPECT_FALSE(table.has(Metric::kLut));
+  table.add(Metric::kLut, &t.lut);
+  EXPECT_TRUE(table.has(Metric::kLut));
+  EXPECT_THROW(table.add(Metric::kLut, &t.ff), std::invalid_argument);
+  table.add(Metric::kFf, &t.ff);
+  EXPECT_EQ(table.flat().size(), 2u);
+  EXPECT_EQ(table.members(Metric::kLut),
+            (std::vector<const QorPredictor*>{&t.lut}));
+  EXPECT_EQ(table.flat_id(Metric::kLut, 0), 0);
+  EXPECT_EQ(table.flat_id(Metric::kFf, 0), 1);
+  EXPECT_EQ(table.metrics(),
+            (std::vector<Metric>{Metric::kLut, Metric::kFf}));
+  EXPECT_THROW(table.members(Metric::kDsp), std::invalid_argument);
+}
+
+TEST(ModelTableTest, EnsembleRegistersEveryMember) {
+  const TrainSetup& s = train_setup();
+  const QorEnsemble ensemble(Approach::kOffTheShelf, s.mc, s.tc, 3);
+  ModelTable table;
+  table.add(Metric::kLut, &ensemble);
+  ASSERT_EQ(table.members(Metric::kLut).size(), 3u);
+  EXPECT_EQ(table.flat().size(), 3u);
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_EQ(table.members(Metric::kLut)[static_cast<std::size_t>(k)],
+              &ensemble.member(k));
+    EXPECT_EQ(table.flat_id(Metric::kLut, k), k);
+  }
+}
+
+// ----- QorEnsemble -----
+
+TEST(EnsembleTest, EnsembleOfOneIsBitwiseTheSingleModel) {
+  const TrainSetup& s = train_setup();
+  QorPredictor single = fresh_predictor(Metric::kLut);
+  QorEnsemble one(Approach::kOffTheShelf, s.mc, s.tc, 1);
+  one.fit(s.corpus, s.split, Metric::kLut, FitOptions{});
+  std::vector<const Sample*> ptrs;
+  for (int i : s.split.val) {
+    ptrs.push_back(&s.corpus[static_cast<std::size_t>(i)]);
+  }
+  std::vector<double> want = single.predict_many(ptrs);
+  std::vector<ScoreResult> got = one.score_many(ptrs);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t j = 0; j < got.size(); ++j) {
+    EXPECT_EQ(got[j].mean, want[j]);
+    EXPECT_EQ(got[j].uncertainty, 0.0);
+  }
+  // ... and the parity survives an identical refit on the same delta.
+  const std::vector<Sample> delta(s.corpus.begin(), s.corpus.begin() + 4);
+  single.refit(delta);
+  one.refit(delta);
+  want = single.predict_many(ptrs);
+  got = one.score_many(ptrs);
+  for (std::size_t j = 0; j < got.size(); ++j) {
+    EXPECT_EQ(got[j].mean, want[j]);
+  }
+}
+
+TEST(EnsembleTest, MembersDisagreeAndAggregateDeterministically) {
+  const TrainSetup& s = train_setup();
+  QorEnsemble ensemble(Approach::kOffTheShelf, s.mc, s.tc, 3);
+  EXPECT_EQ(ensemble.size(), 3);
+  ensemble.fit(s.corpus, s.split, Metric::kLut, FitOptions{});
+  EXPECT_EQ(ensemble.metric(), Metric::kLut);
+  std::vector<const Sample*> ptrs;
+  for (int i : s.split.val) {
+    ptrs.push_back(&s.corpus[static_cast<std::size_t>(i)]);
+  }
+  const std::vector<ScoreResult> scored = ensemble.score_many(ptrs);
+  // Seed-offset members genuinely disagree: dispersion is visible.
+  double max_unc = 0.0;
+  for (const ScoreResult& r : scored) max_unc = std::max(max_unc, r.uncertainty);
+  EXPECT_GT(max_unc, 0.0);
+  // The mean sits inside the member envelope.
+  for (std::size_t j = 0; j < ptrs.size(); ++j) {
+    double lo = std::numeric_limits<double>::infinity(), hi = -lo;
+    for (int k = 0; k < 3; ++k) {
+      const double v = ensemble.member(k).predict(*ptrs[j]);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    EXPECT_GE(scored[j].mean, lo);
+    EXPECT_LE(scored[j].mean, hi);
+  }
+  // Scoring is a pure function: byte-identical on repeat.
+  const std::vector<ScoreResult> again = ensemble.score_many(ptrs);
+  for (std::size_t j = 0; j < scored.size(); ++j) {
+    EXPECT_EQ(scored[j].mean, again[j].mean);
+    EXPECT_EQ(scored[j].uncertainty, again[j].uncertainty);
+  }
+}
+
+// ----- active_halving -----
+
+TEST(ExplorerTest, ActiveWithZeroFeedbackEqualsStatic) {
+  const DesignSpace space = make_kernel_design_space("gemm");  // 12 points
+  const PredictorScorer scorer = direct_scorer();
+  DseConfig cfg;
+  cfg.top_k = 3;
+  cfg.active.feedback_rounds = 0;
+  const Explorer explorer(space, scorer, cfg);
+  const DseResult stat = explorer.successive_halving();
+  const DseResult active = explorer.active_halving(
+      [](const std::vector<Sample>&) -> FitReport {
+        ADD_FAILURE() << "refit must not run with feedback_rounds == 0";
+        return {};
+      });
+  expect_identical_results(stat, active);
+  EXPECT_EQ(active.refits, 0);
+  EXPECT_TRUE(active.fed_back.empty());
+}
+
+TEST(ExplorerTest, ActiveHalvingBudgetAndTrace) {
+  const Trained& t = trained_predictors();
+  QorPredictor lut = fresh_predictor(Metric::kLut);
+  const PredictorScorer scorer(
+      {{Metric::kLut, &lut}, {Metric::kFf, &t.ff}});
+  const DesignSpace space = make_kernel_design_space("gemm");  // 12 points
+  DseConfig cfg;
+  cfg.top_k = 3;
+  cfg.active.feedback_rounds = 1;
+  const Explorer explorer(space, scorer, cfg);
+  const DseResult r = explorer.active_halving(lut);
+  // Budget-exact: feedback spends from successive halving's pot.
+  EXPECT_EQ(r.hls_runs, 3);
+  int synthesized = 0;
+  for (const DseCandidate& c : r.candidates) synthesized += c.synthesized;
+  EXPECT_EQ(synthesized, 3);
+  EXPECT_EQ(r.survivors_per_round, (std::vector<int>{12, 6, 3}));
+  // Trace: one feedback round of max(1, top_k / 2) = 1 candidate.
+  EXPECT_EQ(r.refits, 1);
+  EXPECT_EQ(lut.refits(), 1);
+  ASSERT_EQ(r.fed_back.size(), 1u);
+  EXPECT_EQ(r.fed_back[0].size(), 1u);
+  ASSERT_EQ(r.refit_reports.size(), 1u);
+  EXPECT_TRUE(r.refit_reports[0].warm_started);
+  EXPECT_EQ(r.refit_reports[0].epochs_run,
+            QorPredictor::refit_defaults().epochs);
+  EXPECT_EQ(r.acquisition, Acquisition::kPredictedRank);
+  // Fed-back candidates are synthesized, and their truth counts: front /
+  // best are drawn from every synthesized point.
+  for (int i : r.fed_back[0]) {
+    EXPECT_TRUE(r.candidates[static_cast<std::size_t>(i)].synthesized);
+  }
+  ASSERT_GE(r.best, 0);
+  EXPECT_TRUE(r.candidates[static_cast<std::size_t>(r.best)].synthesized);
+  // Single-model scorer: uncertainty stays exactly zero everywhere.
+  for (const DseCandidate& c : r.candidates) {
+    for (double u : c.uncertainty) EXPECT_EQ(u, 0.0);
+  }
+}
+
+TEST(ExplorerTest, ActiveBitIdenticalAcrossThreadCounts) {
+  const Trained& t = trained_predictors();
+  const DesignSpace space = make_kernel_design_space("gemm");
+  DseConfig cfg;
+  cfg.top_k = 3;
+  cfg.active.feedback_rounds = 2;
+  DseResult serial;
+  {
+    PoolGuard guard(1);
+    // Fit AND explore inside the guard: the fit, the refits and the
+    // scoring rounds must all be width-invariant for the traces to match.
+    QorPredictor lut = fresh_predictor(Metric::kLut);
+    const PredictorScorer scorer(
+        {{Metric::kLut, &lut}, {Metric::kFf, &t.ff}});
+    const Explorer explorer(space, scorer, cfg);
+    serial = explorer.active_halving(lut);
+  }
+  {
+    PoolGuard guard(4);
+    QorPredictor lut = fresh_predictor(Metric::kLut);
+    const PredictorScorer scorer(
+        {{Metric::kLut, &lut}, {Metric::kFf, &t.ff}});
+    const Explorer explorer(space, scorer, cfg);
+    expect_identical_results(serial, explorer.active_halving(lut));
+  }
+  EXPECT_GE(serial.refits, 1);
+}
+
+TEST(ExplorerTest, ActiveServingScorerBitIdenticalToDirect) {
+  const Trained& t = trained_predictors();
+  const DesignSpace space = make_kernel_design_space("gemm");
+  DseConfig cfg;
+  cfg.top_k = 3;
+  // Two identically-fitted rank models: each arm refits its own copy.
+  QorPredictor lut_direct = fresh_predictor(Metric::kLut);
+  QorPredictor lut_serving = fresh_predictor(Metric::kLut);
+  const PredictorScorer direct(
+      {{Metric::kLut, &lut_direct}, {Metric::kFf, &t.ff}});
+  SchedulerConfig sc;
+  sc.max_batch = 5;  // forces uneven micro-batch splits
+  sc.batch_window_us = 0;
+  const ServingScorer serving(
+      {{Metric::kLut, &lut_serving}, {Metric::kFf, &t.ff}}, sc);
+  const Explorer via_direct(space, direct, cfg);
+  const Explorer via_serving(space, serving, cfg);
+  const DseResult a = via_direct.active_halving(lut_direct);
+  // The serving arm refits lut_serving between scoring rounds — exactly
+  // the quiescent-refit contract serve/scheduler.h documents.
+  const DseResult b = via_serving.active_halving(lut_serving);
+  expect_identical_results(a, b);
+  EXPECT_GE(a.refits, 1);
+}
+
+TEST(ExplorerTest, ActiveEnsembleUncertaintyBonus) {
+  const Trained& t = trained_predictors();
+  const TrainSetup& s = train_setup();
+  QorEnsemble ensemble(Approach::kOffTheShelf, s.mc, s.tc, 2);
+  ensemble.fit(s.corpus, s.split, Metric::kLut, FitOptions{});
+  ModelTable table;
+  table.add(Metric::kLut, &ensemble);
+  table.add(Metric::kFf, &t.ff);
+  const PredictorScorer scorer(std::move(table));
+  const DesignSpace space = make_kernel_design_space("gemm");
+  DseConfig cfg;
+  cfg.top_k = 3;
+  cfg.active.acquisition = Acquisition::kUncertaintyBonus;
+  cfg.active.beta = 1.0;
+  const Explorer explorer(space, scorer, cfg);
+  const DseResult r = explorer.active_halving(ensemble);
+  EXPECT_EQ(r.acquisition, Acquisition::kUncertaintyBonus);
+  EXPECT_EQ(r.hls_runs, 3);  // acquisition changes choices, never budget
+  EXPECT_GE(r.refits, 1);
+  // The ensemble's dispersion reached the candidates' rank metric.
+  double max_unc = 0.0;
+  for (const DseCandidate& c : r.candidates) {
+    max_unc = std::max(
+        max_unc, c.uncertainty[static_cast<std::size_t>(Metric::kLut)]);
+  }
+  EXPECT_GT(max_unc, 0.0);
+}
+
+TEST(ExplorerTest, ActiveValidation) {
+  const DesignSpace space = small_space();
+  const PredictorScorer scorer = direct_scorer();
+  const Explorer explorer(space, scorer);
+  EXPECT_THROW(explorer.active_halving(Explorer::RefitFn{}),
+               std::invalid_argument);
+  // Convenience overload rejects a model fitted for a different metric.
+  QorPredictor ff = fresh_predictor(Metric::kFf);
+  EXPECT_THROW(explorer.active_halving(ff), std::invalid_argument);
+  DseConfig bad;
+  bad.active.feedback_rounds = -1;
+  const Explorer bad_explorer(space, scorer, bad);
+  EXPECT_THROW(bad_explorer.active_halving(
+                   [](const std::vector<Sample>&) { return FitReport{}; }),
+               std::invalid_argument);
 }
 
 }  // namespace
